@@ -1,0 +1,50 @@
+"""Engine microbenchmarks: simulation throughput of the substrate.
+
+Not a paper experiment — substrate performance numbers for users sizing
+their own sweeps: slots/second of the full phase-faithful engine (GM on
+a loaded 8x8 switch, CGU on the crossbar) and the exact-OPT solve time
+on a typical ratio-experiment instance.
+"""
+
+import pytest
+
+from repro.core.cgu import CGUPolicy
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.offline.opt import cioq_opt
+from repro.simulation.engine import run_cioq, run_crossbar
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.values import uniform_values
+
+CONFIG8 = SwitchConfig.square(8, speedup=2, b_in=4, b_out=4, b_cross=1)
+TRACE8 = BernoulliTraffic(8, 8, load=1.2).generate(100, seed=0)
+WTRACE8 = BernoulliTraffic(
+    8, 8, load=1.2, value_model=uniform_values(1, 100)
+).generate(100, seed=0)
+
+OPT_CONFIG = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+OPT_TRACE = BernoulliTraffic(3, 3, load=1.2).generate(20, seed=1)
+
+
+def test_engine_gm_8x8(benchmark):
+    result = benchmark(run_cioq, GMPolicy(), CONFIG8, TRACE8)
+    result.check_conservation()
+    assert result.n_sent > 0
+
+
+def test_engine_pg_8x8(benchmark):
+    result = benchmark(run_cioq, PGPolicy(), CONFIG8, WTRACE8)
+    result.check_conservation()
+
+
+def test_engine_cgu_8x8(benchmark):
+    result = benchmark(run_crossbar, CGUPolicy(), CONFIG8, TRACE8)
+    result.check_conservation()
+
+
+def test_exact_opt_solve(benchmark):
+    result = benchmark.pedantic(
+        cioq_opt, args=(OPT_TRACE, OPT_CONFIG), rounds=3, iterations=1
+    )
+    assert result.benefit > 0

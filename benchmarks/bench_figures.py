@@ -1,0 +1,52 @@
+"""E1/E2 — Figures 1 and 2 of the paper: switch architecture renderings.
+
+The paper's only figures are the two N=3 architecture diagrams; we
+regenerate them from live simulator state (occupied queue cells are
+drawn filled) and benchmark the render path.
+"""
+
+from repro.switch.cioq import CIOQSwitch
+from repro.switch.config import SwitchConfig
+from repro.switch.crossbar import CrossbarSwitch
+from repro.switch.diagram import render_cioq, render_crossbar
+from repro.switch.packet import Packet
+
+from conftest import run_once
+
+
+def _populated_cioq() -> CIOQSwitch:
+    config = SwitchConfig.square(3, b_in=3, b_out=3)
+    s = CIOQSwitch(config)
+    for pid, (i, j) in enumerate([(0, 0), (0, 1), (1, 2), (2, 0), (2, 0)]):
+        s.enqueue_arrival(Packet(pid, 1.0, 0, i, j))
+    return s
+
+
+def _populated_crossbar() -> CrossbarSwitch:
+    config = SwitchConfig.square(3, b_in=3, b_out=3, b_cross=1)
+    s = CrossbarSwitch(config)
+    for pid, (i, j) in enumerate([(0, 2), (1, 0), (1, 1), (2, 2)]):
+        s.enqueue_arrival(Packet(pid, 1.0, 0, i, j))
+    s.cross[0][1].push(Packet(90, 1.0, 0, 0, 1))
+    s.out[2].push(Packet(91, 1.0, 0, 1, 2))
+    return s
+
+
+def test_figure1_cioq_topology(benchmark, emit):
+    switch = _populated_cioq()
+    art = run_once(benchmark, render_cioq, switch,
+                   "Figure 1: CIOQ switch, N = 3")
+    emit("\n" + art)
+    assert "fabric" in art
+    for i in range(3):
+        for j in range(3):
+            assert f"Q[{i}][{j}]" in art
+
+
+def test_figure2_crossbar_topology(benchmark, emit):
+    switch = _populated_crossbar()
+    art = run_once(benchmark, render_crossbar, switch,
+                   "Figure 2: buffered crossbar switch, N = 3")
+    emit("\n" + art)
+    for j in range(3):
+        assert f"col {j}" in art and f"out {j}" in art

@@ -1,0 +1,73 @@
+"""T11 — the IQ-model reduction: measured ratios vs known lower bounds.
+
+The paper's conclusion: on N x 1 switches with speedup 1, GM and PG
+coincide with the multi-queue algorithms of Azar-Richter, whose known
+asymptotic lower bounds are 2 (unit) and 3 (weighted); Section 1.2's
+general lower bounds (2 - 1/m deterministic, 2 - 1/B greedy, e/(e-1)
+randomized) also live in this model and carry over to CIOQ/crossbar.
+
+This experiment runs GM on IQ instances under the adaptive overload
+adversary and prints the measured ratio next to the instantiated lower
+bounds and the upper bound of 3 — locating our adversary's strength
+between the published lower bounds and the theorem.
+"""
+
+from repro.analysis.ratio import measure_cioq_ratio
+from repro.analysis.report import format_table
+from repro.core.gm import GMPolicy
+from repro.iq import iq_config, known_lower_bounds, tlh_equivalence_note
+from repro.traffic.adversarial import (
+    SingleOutputOverloadAdversary,
+    generate_adaptive_trace,
+)
+
+from conftest import run_once
+
+CASES = [
+    # (m queues, buffer B, arrival slots)
+    (4, 2, 14),
+    (6, 3, 18),
+    (8, 2, 16),
+]
+
+
+def compute_rows():
+    rows = []
+    for m, b, slots in CASES:
+        cfg = iq_config(m, b)
+        trace = generate_adaptive_trace(
+            GMPolicy, cfg, SingleOutputOverloadAdversary(), n_slots=slots
+        )
+        meas = measure_cioq_ratio(GMPolicy(), trace, cfg, bound=3.0)
+        lbs = {lb.name: lb.value for lb in known_lower_bounds(m, b)}
+        rows.append(
+            {
+                "m": m,
+                "B": b,
+                "GM": meas.onl_benefit,
+                "OPT": meas.opt_benefit,
+                "measured": round(meas.ratio, 4),
+                "LB det (2-1/m)": round(lbs["deterministic"], 4),
+                "LB greedy (2-1/B)": round(lbs["greedy"], 4),
+                "UB (Thm 1)": 3.0,
+                "ok": meas.within_bound,
+            }
+        )
+    return rows
+
+
+def test_t11_iq_lower_bound_table(benchmark, emit):
+    rows = run_once(benchmark, compute_rows)
+    emit("\n" + format_table(
+        rows,
+        title="T11 - IQ model (N x 1, speedup 1): adversarial GM ratio vs "
+              "the Section 1.2 lower bounds",
+    ))
+    emit(tlh_equivalence_note())
+    assert all(r["ok"] for r in rows)
+    # The adversary achieves a substantial fraction of the deterministic
+    # lower bound on at least one configuration.
+    best = max(r["measured"] / r["LB det (2-1/m)"] for r in rows)
+    emit(f"best fraction of the deterministic lower bound achieved: "
+         f"{best:.2f}")
+    assert best > 0.75

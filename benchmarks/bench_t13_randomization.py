@@ -1,0 +1,88 @@
+"""T13 — randomization vs the adaptive adversary (open problem probe).
+
+The paper's conclusion: *"no result is known on any randomized algorithm
+in these models"*, while the IQ model's randomized lower bound
+(e/(e−1) ≈ 1.58) sits well below the deterministic one (2 − 1/m).
+
+This experiment probes the gap empirically: the adaptive adversaries are
+tuned against the *deterministic* GM; replaying the recorded adversarial
+trace against GM with a randomized edge order (``RandomMatchPolicy``)
+shows how much of the adversary's advantage evaporates when the
+scheduler's choices cannot be predicted.  (The instance is fixed, so
+this measures robustness of the instance, not a randomized competitive
+ratio — but a consistent drop is exactly what would motivate the
+randomized analysis the paper calls for.)
+"""
+
+import numpy as np
+
+from repro.analysis.ratio import measure_cioq_ratio
+from repro.analysis.report import format_table
+from repro.core.gm import GMPolicy
+from repro.offline.opt import cioq_opt
+from repro.scheduling.baselines import RandomMatchPolicy
+from repro.simulation.engine import run_cioq
+from repro.switch.config import SwitchConfig
+from repro.traffic.adversarial import (
+    RotatingBurstAdversary,
+    SingleOutputOverloadAdversary,
+    generate_adaptive_trace,
+)
+
+from conftest import run_once
+
+N_RANDOM_RUNS = 10
+
+
+def compute_rows():
+    rows = []
+    cases = [
+        ("single-output overload",
+         SwitchConfig.square(6, speedup=1, b_in=3, b_out=3),
+         SingleOutputOverloadAdversary(), 18),
+        ("rotating bursts",
+         SwitchConfig.square(3, speedup=1, b_in=2, b_out=2),
+         RotatingBurstAdversary(), 30),
+    ]
+    for label, cfg, adversary, slots in cases:
+        trace = generate_adaptive_trace(GMPolicy, cfg, adversary, slots)
+        opt = cioq_opt(trace, cfg).benefit
+        det = run_cioq(GMPolicy(), cfg, trace).benefit
+        random_benefits = [
+            run_cioq(RandomMatchPolicy(seed=seed), cfg, trace).benefit
+            for seed in range(N_RANDOM_RUNS)
+        ]
+        mean_rand = float(np.mean(random_benefits))
+        rows.append(
+            {
+                "instance": label,
+                "OPT": opt,
+                "GM (deterministic)": det,
+                "det ratio": round(opt / det, 4),
+                "randomized mean": round(mean_rand, 1),
+                "rand ratio (mean)": round(opt / mean_rand, 4),
+                "rand ratio (best)": round(opt / max(random_benefits), 4),
+                "rand ratio (worst)": round(opt / min(random_benefits), 4),
+            }
+        )
+    return rows
+
+
+def test_t13_randomization_table(benchmark, emit):
+    rows = run_once(benchmark, compute_rows)
+    emit("\n" + format_table(
+        rows,
+        title="T13 - adversarial traces built against deterministic GM, "
+              "replayed under randomized edge order "
+              f"({N_RANDOM_RUNS} seeds)",
+    ))
+    emit("The paper's conclusion notes no randomized results are known "
+         "for these models; the randomized lower bound in the IQ model "
+         "is e/(e-1) ~ 1.58 vs 2 - 1/m deterministic.")
+    for r in rows:
+        # Randomization never helps OPT; all ratios stay within Theorem 1.
+        assert r["det ratio"] <= 3.0 + 1e-9
+        assert r["rand ratio (worst)"] <= 3.0 + 1e-9
+        # On average the randomized scheduler does at least as well as
+        # the scheduler the adversary targeted.
+        assert r["rand ratio (mean)"] <= r["det ratio"] + 0.05

@@ -1,0 +1,67 @@
+"""T1 — Theorem 1: GM's empirical competitive ratio (bound: 3).
+
+Runs GM against the exact offline optimum across traffic families,
+switch sizes, buffer sizes and speedups, printing the measured ratio per
+cell.  Every ratio must stay at or below 3; the observed worst case (and
+which family achieves it) is the experiment's headline row.
+"""
+
+from repro.analysis.ratio import measure_cioq_ratio, summarize
+from repro.analysis.report import format_table
+from repro.core.gm import GMPolicy
+from repro.core.params import GM_RATIO
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.hotspot import DiagonalTraffic, HotspotTraffic
+
+from conftest import run_once
+
+CELLS = [
+    # (label, traffic factory, n, b_in, b_out, speedup, slots, seed)
+    ("bernoulli 0.9", lambda n: BernoulliTraffic(n, n, load=0.9), 3, 2, 2, 1, 20, 0),
+    ("bernoulli 1.3", lambda n: BernoulliTraffic(n, n, load=1.3), 3, 2, 2, 1, 20, 1),
+    ("bernoulli 1.3 s=2", lambda n: BernoulliTraffic(n, n, load=1.3), 3, 2, 2, 2, 20, 1),
+    ("bernoulli 1.3 B=1", lambda n: BernoulliTraffic(n, n, load=1.3), 3, 1, 1, 1, 20, 1),
+    ("hotspot 70%", lambda n: HotspotTraffic(n, n, load=1.2, hot_fraction=0.7), 3, 2, 2, 1, 20, 2),
+    ("hotspot 70% N=4", lambda n: HotspotTraffic(n, n, load=1.2, hot_fraction=0.7), 4, 2, 2, 1, 16, 2),
+    ("bursty incast", lambda n: BurstyTraffic(n, n, burst_load=2.5,
+                                              dst_weights=[0.6, 0.2, 0.2]), 3, 2, 2, 1, 20, 3),
+    ("diagonal", lambda n: DiagonalTraffic(n, n, load=1.2), 4, 2, 2, 1, 16, 4),
+]
+
+
+def compute_rows():
+    rows = []
+    measurements = []
+    for label, make, n, b_in, b_out, s, slots, seed in CELLS:
+        config = SwitchConfig.square(n, speedup=s, b_in=b_in, b_out=b_out)
+        trace = make(n).generate(slots, seed=seed)
+        m = measure_cioq_ratio(GMPolicy(), trace, config, bound=GM_RATIO)
+        measurements.append(m)
+        rows.append(
+            {
+                "traffic": label,
+                "N": n,
+                "B_in": b_in,
+                "speedup": s,
+                "GM": m.onl_benefit,
+                "OPT": m.opt_benefit,
+                "ratio": round(m.ratio, 4),
+                "<=3": m.within_bound,
+            }
+        )
+    return rows, summarize(measurements)
+
+
+def test_t1_gm_ratio_table(benchmark, emit):
+    rows, summary = run_once(benchmark, compute_rows)
+    emit("\n" + format_table(
+        rows,
+        title="T1 - GM empirical competitive ratio vs exact OPT "
+              "(Theorem 1 bound: 3)",
+    ))
+    emit(f"worst observed ratio: {summary['max_ratio']:.4f} "
+         f"(mean {summary['mean_ratio']:.4f}, n={summary['n']})")
+    assert summary["all_within_bound"]
+    assert summary["max_ratio"] <= GM_RATIO + 1e-9

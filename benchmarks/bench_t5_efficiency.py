@@ -1,0 +1,101 @@
+"""T5 — the paper's efficiency claim: greedy maximal vs maximum matching.
+
+The systems argument of the paper: per scheduling cycle, GM/PG compute a
+greedy maximal matching (one pass over the edges) instead of the maximum
+matchings of prior algorithms (Hopcroft-Karp for the unit case,
+Hungarian for the weighted case).  This experiment quantifies the gap:
+
+* machine-independent operation counts and wall time per cycle, scaling
+  with switch size N (dense occupancy: the regime where switches
+  actually need scheduling),
+* the quality cost: matched fraction / matched weight of greedy vs
+  maximum (theory says >= 1/2; in practice it is near 1).
+
+The per-engine microbenchmarks at the bottom are true pytest-benchmark
+timings of a single scheduling cycle at N = 16.
+"""
+
+import numpy as np
+
+from repro.analysis.efficiency import (
+    efficiency_scaling_table,
+    random_occupancy,
+    random_weights,
+)
+from repro.analysis.report import format_table
+from repro.scheduling.matching import (
+    greedy_maximal_matching,
+    greedy_maximal_matching_weighted,
+    hopcroft_karp,
+    max_weight_matching,
+)
+
+from conftest import run_once
+
+SIZES = [4, 8, 16, 32]
+
+
+def test_t5_unit_scaling_table(benchmark, emit):
+    rows = run_once(
+        benchmark, efficiency_scaling_table, SIZES, 0.6, 30, 0, False
+    )
+    emit("\n" + format_table(
+        rows,
+        title="T5a - per-cycle cost: greedy maximal (GM) vs Hopcroft-Karp "
+              "maximum matching (unit case)",
+    ))
+    # The cost gap must grow with N while greedy stays near-optimal.
+    assert rows[-1]["ops_ratio"] >= rows[0]["ops_ratio"] * 0.8
+    assert all(r["size_ratio"] >= 0.5 for r in rows)
+    assert all(r["maxmatch_ops"] >= r["greedy_ops"] for r in rows)
+
+
+def test_t5_weighted_scaling_table(benchmark, emit):
+    rows = run_once(
+        benchmark, efficiency_scaling_table, SIZES, 0.6, 10, 0, True
+    )
+    emit("\n" + format_table(
+        rows,
+        title="T5b - per-cycle cost: greedy-by-weight (PG) vs Hungarian "
+              "maximum-weight matching (weighted case)",
+    ))
+    assert all(r["hungarian_ops"] > r["greedy_ops"] for r in rows)
+    assert all(r["weight_ratio"] >= 0.5 for r in rows)
+    # Hungarian's O(n^3) must dominate sharply by N = 32.
+    assert rows[-1]["ops_ratio"] > 5
+
+
+def _fixed_instance(n=16, density=0.6, seed=7):
+    rng = np.random.default_rng(seed)
+    occ = random_occupancy(n, density, rng)
+    w = random_weights(n, density, rng)
+    edges = [(i, j) for i in range(n) for j in range(n) if occ[i, j]]
+    adj = [[j for j in range(n) if occ[i, j]] for i in range(n)]
+    wedges = [
+        (i, j, float(w[i, j])) for i in range(n) for j in range(n) if w[i, j] > 0
+    ]
+    return edges, adj, w.tolist(), wedges
+
+
+def test_t5_bench_greedy_unit(benchmark):
+    edges, _, _, _ = _fixed_instance()
+    result = benchmark(greedy_maximal_matching, edges)
+    assert result
+
+
+def test_t5_bench_hopcroft_karp(benchmark):
+    _, adj, _, _ = _fixed_instance()
+    result = benchmark(hopcroft_karp, 16, 16, adj)
+    assert result
+
+
+def test_t5_bench_greedy_weighted(benchmark):
+    _, _, _, wedges = _fixed_instance()
+    result = benchmark(greedy_maximal_matching_weighted, wedges)
+    assert result
+
+
+def test_t5_bench_hungarian(benchmark):
+    _, _, w, _ = _fixed_instance()
+    result = benchmark(max_weight_matching, w)
+    assert result

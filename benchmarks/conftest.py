@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``bench_*.py`` module regenerates one table or figure of the
+evaluation (see DESIGN.md Section 6 and EXPERIMENTS.md).  Experiment
+payloads run once under ``benchmark.pedantic`` (they are full
+simulations plus exact-OPT solves, not microseconds-scale kernels) and
+print their tables live via ``emit`` so that
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the evaluation in the console.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print around pytest's capture so tables appear in normal runs."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of an experiment payload."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

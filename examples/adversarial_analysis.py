@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Adversarial instances and the proof machinery, end to end.
+
+Three parts:
+
+1. **Gadget instances** (deterministic) — the burst/escalation patterns
+   behind the lower bounds cited in Section 1.2, measured against the
+   exact OPT: they push GM's and PG's empirical ratios well above what
+   stochastic traffic achieves.
+2. **Adaptive adversary** — arrivals generated while *watching* the
+   online switch (equivalent in power to the oblivious adversary for a
+   deterministic algorithm); the recorded trace is then replayed against
+   OPT.
+3. **Shadow certificate** — the replay of the paper's "modified OPT"
+   construction (Modifications 2.1.1/2.1.2) on one of the adversarial
+   instances: Lemma 1's invariants are checked after every event and the
+   privileged-packet accounting of Lemma 3 is verified, certifying
+   Theorem 1 on that instance.
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro import GMPolicy, PGPolicy, SwitchConfig, cioq_opt, run_cioq
+from repro.analysis import measure_cioq_ratio, print_table
+from repro.core import pg_optimal_beta
+from repro.theory import replay_gm_shadow
+from repro.traffic import (
+    RotatingBurstAdversary,
+    SingleOutputOverloadAdversary,
+    beta_admission_gadget,
+    generate_adaptive_trace,
+)
+
+
+def main() -> None:
+    rows = []
+    beta = pg_optimal_beta()
+
+    # --- Part 1: deterministic gadget against PG (beta-admission) ---
+    n, b = 2, 6
+    cfg_pg = SwitchConfig.square(n, speedup=n, b_in=b, b_out=b)
+    gadget = beta_admission_gadget(beta, n=n, b_out=b, rate=4, n_rounds=3)
+    rows.append(
+        measure_cioq_ratio(PGPolicy(beta=beta), gadget, cfg_pg,
+                           bound=3 + 2 * 2 ** 0.5).as_row()
+    )
+
+    # --- Part 2: adaptive adversaries against GM ---
+    cfg_iq = SwitchConfig.square(6, speedup=1, b_in=3, b_out=3)
+    iq_trace = generate_adaptive_trace(
+        GMPolicy, cfg_iq, SingleOutputOverloadAdversary(), n_slots=18
+    )
+    rows.append(
+        measure_cioq_ratio(GMPolicy(), iq_trace, cfg_iq, bound=3.0).as_row()
+    )
+
+    cfg_rot = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+    adv_trace = generate_adaptive_trace(
+        GMPolicy, cfg_rot, RotatingBurstAdversary(), n_slots=36
+    )
+    rows.append(
+        measure_cioq_ratio(GMPolicy(), adv_trace, cfg_rot, bound=3.0).as_row()
+    )
+    cfg_adv = cfg_rot
+
+    print_table(
+        rows,
+        title="Adversarial instances: measured ratio vs paper bound",
+    )
+    print(
+        "Adversarial ratios exceed the ~1.0-1.1 typical of stochastic\n"
+        "traffic, demonstrating the guarantees are not vacuous; they\n"
+        "remain below the proven worst-case bounds, as they must.\n"
+    )
+
+    # --- Part 3: shadow certificate on the adaptive instance ---
+    gm = run_cioq(GMPolicy(), cfg_adv, adv_trace, record=True)
+    opt = cioq_opt(adv_trace, cfg_adv, extract_schedule=True)
+    cert = replay_gm_shadow(adv_trace, cfg_adv, gm, opt)
+    print("Theorem 1 shadow certificate on the adaptive instance:")
+    print(f"  GM benefit                 = {cert.gm_benefit}")
+    print(f"  OPT benefit                = {cert.opt_benefit}")
+    print(f"  modified-OPT normal sends  = {cert.s_star}")
+    print(f"  privileged Type 1 / Type 2 = "
+          f"{cert.privileged_type1} / {cert.privileged_type2}")
+    print(f"  invariant checks performed = {cert.invariant_checks} "
+          f"(Lemma 1 held at every one)")
+    print(f"  |S*| <= |S|                : {cert.s_star_bounded}")
+    print(f"  |P*| <= 2|S|  (Lemma 3)    : {cert.privileged_bounded}")
+    print(f"  OPT <= modified <= 3 GM    : {cert.theorem1_certified}")
+
+
+if __name__ == "__main__":
+    main()

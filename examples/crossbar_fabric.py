@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Buffered crossbar tour: topology figures, CGU/CPG, buffer sizing.
+
+Reproduces the paper's two architecture figures as live renderings of
+the simulator state (Figure 1: CIOQ, Figure 2: buffered crossbar with
+N=3), then runs CGU and CPG and sweeps the crosspoint buffer capacity
+B(C) to show how little crosspoint memory the competitive guarantees
+need — the guarantee holds at B(C)=1, which is why buffered crossbars
+"significantly decrease the scheduling overhead" (Section 1) without
+large fabric memories.
+
+Run:  python examples/crossbar_fabric.py
+"""
+
+from repro import (
+    CGUPolicy,
+    CPGPolicy,
+    CIOQSwitch,
+    CrossbarSwitch,
+    BernoulliTraffic,
+    SwitchConfig,
+    crossbar_opt,
+    render_cioq,
+    render_crossbar,
+    run_crossbar,
+    pareto_values,
+)
+from repro.analysis import buffer_sweep_crossbar, print_table
+from repro.switch import Packet
+
+
+def show_figures() -> None:
+    """Figures 1 and 2 of the paper, rendered from simulator state."""
+    config = SwitchConfig.square(3, speedup=1, b_in=3, b_out=3, b_cross=1)
+
+    cioq = CIOQSwitch(config)
+    # Populate a few queues so the figure shows occupancy.
+    for pid, (i, j) in enumerate([(0, 0), (0, 1), (1, 2), (2, 0), (2, 0)]):
+        cioq.enqueue_arrival(Packet(pid, 1.0, 0, i, j))
+    print(render_cioq(cioq, title="Figure 1: CIOQ switch, N = 3"))
+
+    xbar = CrossbarSwitch(config)
+    for pid, (i, j) in enumerate([(0, 2), (1, 0), (1, 1), (2, 2)]):
+        xbar.enqueue_arrival(Packet(100 + pid, 1.0, 0, i, j))
+    xbar.cross[0][1].push(Packet(200, 1.0, 0, 0, 1))
+    xbar.out[2].push(Packet(201, 1.0, 0, 1, 2))
+    print(render_crossbar(xbar, title="Figure 2: buffered crossbar switch, N = 3"))
+
+
+def main() -> None:
+    show_figures()
+
+    n = 3
+    base = SwitchConfig.square(n, speedup=1, b_in=3, b_out=3, b_cross=1)
+    heavy = BernoulliTraffic(n, n, load=1.3, value_model=pareto_values(1.5))
+
+    # CGU vs CPG on the same weighted trace (CGU ignores values).
+    trace = heavy.generate(40, seed=3)
+    cgu = run_crossbar(CGUPolicy(), base, trace)
+    cpg = run_crossbar(CPGPolicy(), base, trace)
+    opt = crossbar_opt(trace, base)
+    print_table(
+        [
+            {
+                "policy": r.policy_name,
+                "benefit": round(r.benefit, 2),
+                "sent": r.n_sent,
+                "preempted": r.n_preempted,
+                "ratio vs OPT": round(opt.benefit / r.benefit, 4),
+            }
+            for r in (cgu, cpg)
+        ],
+        title=f"Heavy-tailed (Pareto) values on a {n}x{n} buffered crossbar "
+              f"(OPT benefit {opt.benefit:.2f})",
+    )
+    print(
+        "CGU is value-blind; CPG's thresholded preemption recovers most\n"
+        "of the value gap to OPT.\n"
+    )
+
+    rows = buffer_sweep_crossbar(
+        CPGPolicy, heavy, n_slots=40, b_cross_values=[1, 2, 4],
+        base_config=base, seeds=(3, 4),
+    )
+    print_table(rows, title="CPG vs OPT as crosspoint capacity B(C) grows (T10)")
+    print(
+        "The competitive guarantee already holds at B(C)=1; bigger\n"
+        "crosspoint buffers buy only marginal empirical benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The IQ model: where the lower bounds live.
+
+The paper's conclusion observes that on N x 1 switches with speedup 1
+its algorithms GM and PG collapse to the classical multi-queue policies
+of Azar & Richter, whose asymptotic lower bounds are 2 (unit values)
+and 3 (general values) — while the best known lower bounds for *any*
+deterministic algorithm are 2 - 1/m, and e/(e-1) ~ 1.58 even allowing
+randomization.  The gap between those numbers and the paper's upper
+bounds (3 and 5.83) is called "one of the most challenging open
+problems in the area of buffer management".
+
+This example makes the numbers concrete: it attacks GM on IQ instances
+with the adaptive overload adversary, prints the measured ratio next to
+every instantiated lower bound, and shows how randomizing the scheduler
+deflates the attack.
+
+Run:  python examples/iq_lower_bounds.py
+"""
+
+from repro import GMPolicy, RandomMatchPolicy, cioq_opt, run_cioq
+from repro.analysis import print_table
+from repro.iq import iq_config, known_lower_bounds, tlh_equivalence_note
+from repro.traffic import SingleOutputOverloadAdversary, generate_adaptive_trace
+
+
+def main() -> None:
+    rows = []
+    for m, b, slots in [(4, 2, 14), (6, 3, 18), (8, 2, 16)]:
+        cfg = iq_config(m, b)
+        trace = generate_adaptive_trace(
+            GMPolicy, cfg, SingleOutputOverloadAdversary(), n_slots=slots
+        )
+        opt = cioq_opt(trace, cfg).benefit
+        det = run_cioq(GMPolicy(), cfg, trace).benefit
+        rand = run_cioq(RandomMatchPolicy(seed=1), cfg, trace).benefit
+        lbs = {lb.name: lb.value for lb in known_lower_bounds(m, b)}
+        rows.append(
+            {
+                "m": m,
+                "B": b,
+                "measured (GM)": round(opt / det, 3),
+                "measured (randomized)": round(opt / rand, 3),
+                "LB any det (2-1/m)": round(lbs["deterministic"], 3),
+                "LB greedy (2-1/B)": round(lbs["greedy"], 3),
+                "LB randomized (e/(e-1))": round(lbs["randomized"], 3),
+                "UB (Thm 1)": 3.0,
+            }
+        )
+    print_table(
+        rows,
+        title="IQ model (m queues, one output): adversarial ratios vs the "
+              "Section 1.2 lower-bound landscape",
+    )
+    print(tlh_equivalence_note())
+    print(
+        "\nThe adaptive adversary closes most of the distance to the\n"
+        "published deterministic lower bounds; randomizing the edge\n"
+        "order deflates the same instances toward the randomized bound —\n"
+        "the empirical face of the open problem in the paper's\n"
+        "conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

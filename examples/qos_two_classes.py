@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""QoS with two service classes: tuning PG's preemption threshold beta.
+
+The paper's conclusion (Section 4) discusses choosing beta from traffic
+knowledge: the ratio bound ``beta + 2 beta/(beta-1)`` balances two
+failure modes — admitting cheap packets OPT would skip (small beta
+helps) versus preempting excessively (large beta helps).  This example
+sweeps beta on two-value traffic (values {1, alpha}, the classical QoS
+regime of Section 1.2) for several high-value arrival rates and shows
+where the empirical optimum lands relative to the analysis optimum
+``beta* = 1 + sqrt(2) ~ 2.414``.
+
+Run:  python examples/qos_two_classes.py
+"""
+
+import math
+
+from repro import BernoulliTraffic, PGPolicy, SwitchConfig, run_cioq, two_value
+from repro.analysis import beta_sweep_pg, class_breakdown, print_table
+from repro.core import pg_optimal_beta, pg_ratio
+
+
+def main() -> None:
+    n = 3
+    config = SwitchConfig.square(n, speedup=1, b_in=2, b_out=2)
+    betas = [1.1, 1.5, 2.0, pg_optimal_beta(), 3.0, 5.0, 10.0]
+    alpha = 20.0
+
+    for p_high in (0.1, 0.5):
+        traffic = BernoulliTraffic(
+            n, n, load=1.4, value_model=two_value(alpha=alpha, p_high=p_high)
+        )
+        trace = traffic.generate(40, seed=11)
+        rows = beta_sweep_pg(trace, config, betas)
+        for r in rows:
+            r["bound(beta)"] = round(pg_ratio(r["beta"]), 3)
+        print_table(
+            rows,
+            title=(
+                f"PG beta sweep — two-value traffic, alpha={alpha:g}, "
+                f"P[value={alpha:g}]={p_high:g}, load 1.4"
+            ),
+        )
+        best = min(rows, key=lambda r: r["ratio"])
+        print(
+            f"  empirical best beta ~ {best['beta']:g} "
+            f"(ratio {best['ratio']:g}); analysis optimum "
+            f"beta* = 1 + sqrt(2) = {pg_optimal_beta():.4f} "
+            f"(worst-case bound {3 + 2 * math.sqrt(2):.4f})\n"
+        )
+
+    print(
+        "With mostly high-value packets, small beta (aggressive\n"
+        "preemption) admits the valuable bursts; with rare high values,\n"
+        "large beta avoids wasting already-buffered packets — exactly\n"
+        "the trade-off the paper's conclusion describes.\n"
+    )
+
+    # Per-class outcome: which class pays for the overload?
+    config = SwitchConfig.square(3, speedup=1, b_in=1, b_out=1)
+    trace = BernoulliTraffic(
+        3, 3, load=2.0, value_model=two_value(alpha=alpha, p_high=0.3)
+    ).generate(40, seed=2)
+    result = run_cioq(PGPolicy(), config, trace, record=True)
+    print_table(
+        class_breakdown(result, trace),
+        title="Per-class delivery under 2x overload (PG at beta*): the "
+              "cheap class absorbs the loss",
+    )
+
+
+if __name__ == "__main__":
+    main()

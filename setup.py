@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP 517
+editable installs fail; this shim enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""repro — Online Packet Scheduling for CIOQ and Buffered Crossbar Switches.
+
+A faithful, laptop-scale reproduction of
+
+    Kamal Al-Bawani, Matthias Englert, Matthias Westermann:
+    "Online Packet Scheduling for CIOQ and Buffered Crossbar Switches",
+    SPAA 2016; Algorithmica (2018), doi:10.1007/s00453-018-0421-x.
+
+The package provides:
+
+* the paper's four algorithms (:class:`GMPolicy`, :class:`PGPolicy`,
+  :class:`CGUPolicy`, :class:`CPGPolicy`) in :mod:`repro.core`,
+* discrete-time simulators of both switch architectures
+  (:mod:`repro.switch`, :mod:`repro.simulation`),
+* matching engines and baseline schedulers (:mod:`repro.scheduling`),
+* traffic generators including adversarial gadgets (:mod:`repro.traffic`),
+* an exact offline optimum (:mod:`repro.offline`) against which
+  empirical competitive ratios are measured,
+* the analysis machinery of the proofs (:mod:`repro.theory`), and
+* the experiment harness (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        GMPolicy, SwitchConfig, BernoulliTraffic, run_cioq, cioq_opt,
+    )
+
+    config = SwitchConfig.square(4, speedup=2, b_in=4, b_out=4)
+    trace = BernoulliTraffic(4, 4, load=0.9).generate(n_slots=50, seed=1)
+    onl = run_cioq(GMPolicy(), config, trace)
+    opt = cioq_opt(trace, config)
+    print(f"GM delivered {onl.benefit:g}, OPT {opt.benefit:g}, "
+          f"ratio {opt.benefit / onl.benefit:.3f}  (Theorem 1 bound: 3)")
+"""
+
+from ._version import PAPER, __version__
+from .core import (
+    BETA_STAR,
+    CGU_RATIO,
+    CGUPolicy,
+    CPGPolicy,
+    GM_RATIO,
+    GMPolicy,
+    PGPolicy,
+    cpg_optimal_params,
+    cpg_optimal_ratio,
+    cpg_ratio,
+    pg_optimal_beta,
+    pg_optimal_ratio,
+    pg_ratio,
+)
+from .offline import (
+    cioq_opt,
+    cioq_upper_bound,
+    crossbar_opt,
+)
+from .scheduling import (
+    CIOQPolicy,
+    CrossbarPolicy,
+    MaxMatchPolicy,
+    MaxWeightMatchPolicy,
+    RandomMatchPolicy,
+    RoundRobinPolicy,
+)
+from .simulation import SimulationResult, run_cioq, run_crossbar
+from .switch import (
+    CIOQSwitch,
+    CrossbarSwitch,
+    Packet,
+    SwitchConfig,
+    render_cioq,
+    render_crossbar,
+)
+from .traffic import (
+    BernoulliTraffic,
+    BurstyTraffic,
+    DiagonalTraffic,
+    HotspotTraffic,
+    Trace,
+    pareto_values,
+    two_value,
+    uniform_values,
+    unit_values,
+)
+
+__all__ = [
+    "PAPER",
+    "__version__",
+    # core algorithms
+    "GMPolicy",
+    "PGPolicy",
+    "CGUPolicy",
+    "CPGPolicy",
+    "BETA_STAR",
+    "GM_RATIO",
+    "CGU_RATIO",
+    "pg_ratio",
+    "pg_optimal_beta",
+    "pg_optimal_ratio",
+    "cpg_ratio",
+    "cpg_optimal_params",
+    "cpg_optimal_ratio",
+    # offline optimum
+    "cioq_opt",
+    "crossbar_opt",
+    "cioq_upper_bound",
+    # scheduling
+    "CIOQPolicy",
+    "CrossbarPolicy",
+    "MaxMatchPolicy",
+    "MaxWeightMatchPolicy",
+    "RandomMatchPolicy",
+    "RoundRobinPolicy",
+    # simulation
+    "run_cioq",
+    "run_crossbar",
+    "SimulationResult",
+    # switch
+    "SwitchConfig",
+    "Packet",
+    "CIOQSwitch",
+    "CrossbarSwitch",
+    "render_cioq",
+    "render_crossbar",
+    # traffic
+    "Trace",
+    "BernoulliTraffic",
+    "BurstyTraffic",
+    "HotspotTraffic",
+    "DiagonalTraffic",
+    "unit_values",
+    "uniform_values",
+    "two_value",
+    "pareto_values",
+]

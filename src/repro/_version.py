@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: SPAA 2016 / Algorithmica 2018 paper this package reproduces.
+PAPER = (
+    "Kamal Al-Bawani, Matthias Englert, Matthias Westermann: "
+    "Online Packet Scheduling for CIOQ and Buffered Crossbar Switches. "
+    "SPAA 2016; Algorithmica (2018), doi:10.1007/s00453-018-0421-x"
+)

@@ -1,0 +1,57 @@
+"""Experiment harness: ratio measurements, sweeps, tables, efficiency."""
+
+from .ratio import (
+    RatioMeasurement,
+    measure_cioq_ratio,
+    measure_crossbar_ratio,
+    measure_many,
+    summarize,
+    worst,
+)
+from .report import format_table, markdown_table, print_table
+from .sweep import (
+    beta_sweep_pg,
+    buffer_sweep_crossbar,
+    grid,
+    measurements_to_rows,
+    speedup_sweep,
+    threshold_sweep_cpg,
+)
+from .efficiency import (
+    compare_unit_matching_cost,
+    compare_weighted_matching_cost,
+    efficiency_scaling_table,
+    random_occupancy,
+    random_weights,
+)
+from .latency import delay_rows, occupancy_report, sparkline
+from .classes import banded_breakdown, class_breakdown, value_classes
+
+__all__ = [
+    "RatioMeasurement",
+    "measure_cioq_ratio",
+    "measure_crossbar_ratio",
+    "measure_many",
+    "summarize",
+    "worst",
+    "format_table",
+    "markdown_table",
+    "print_table",
+    "beta_sweep_pg",
+    "buffer_sweep_crossbar",
+    "grid",
+    "measurements_to_rows",
+    "speedup_sweep",
+    "threshold_sweep_cpg",
+    "compare_unit_matching_cost",
+    "compare_weighted_matching_cost",
+    "efficiency_scaling_table",
+    "random_occupancy",
+    "random_weights",
+    "delay_rows",
+    "occupancy_report",
+    "sparkline",
+    "banded_breakdown",
+    "class_breakdown",
+    "value_classes",
+]

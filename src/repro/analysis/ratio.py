@@ -1,0 +1,149 @@
+"""Empirical competitive-ratio measurement.
+
+A *measurement* runs one policy on one trace, computes the exact offline
+optimum on the same trace, and reports ``OPT / ONL``.  Because the
+competitive ratio is a worst case over all sequences, measured ratios
+are always *at most* the theoretical bound (if the implementation is
+faithful) and typically far below it on stochastic traffic; adversarial
+gadgets (T7) push them upward.
+
+Measurements are the unit every experiment (T1–T4, T6, T7, T9, T10) is
+built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..offline.opt import cioq_opt, crossbar_opt
+from ..scheduling.base import CIOQPolicy, CrossbarPolicy
+from ..simulation.engine import run_cioq, run_crossbar
+from ..switch.config import SwitchConfig
+from ..traffic.trace import Trace
+
+
+@dataclass
+class RatioMeasurement:
+    """One (policy, trace) competitive-ratio data point."""
+
+    policy: str
+    trace: str
+    model: str  # "cioq" or "crossbar"
+    onl_benefit: float
+    opt_benefit: float
+    n_packets: int
+    bound: Optional[float] = None
+
+    @property
+    def ratio(self) -> float:
+        """OPT / ONL (1.0 when both are zero; inf when only ONL is zero)."""
+        if self.onl_benefit > 0:
+            return self.opt_benefit / self.onl_benefit
+        return 1.0 if self.opt_benefit == 0 else float("inf")
+
+    @property
+    def within_bound(self) -> bool:
+        return self.bound is None or self.ratio <= self.bound + 1e-9
+
+    def as_row(self) -> dict:
+        return {
+            "policy": self.policy,
+            "trace": self.trace,
+            "onl": round(self.onl_benefit, 3),
+            "opt": round(self.opt_benefit, 3),
+            "ratio": round(self.ratio, 4),
+            "bound": self.bound,
+            "ok": self.within_bound,
+        }
+
+
+def measure_cioq_ratio(
+    policy: CIOQPolicy,
+    trace: Trace,
+    config: SwitchConfig,
+    bound: Optional[float] = None,
+) -> RatioMeasurement:
+    """Run ``policy`` and the exact OPT on a CIOQ instance."""
+    onl = run_cioq(policy, config, trace)
+    opt = cioq_opt(trace, config)
+    if onl.benefit > opt.benefit + 1e-6:
+        raise AssertionError(
+            f"online benefit {onl.benefit} exceeds OPT {opt.benefit}: "
+            f"offline model or engine is wrong"
+        )
+    return RatioMeasurement(
+        policy=policy.name,
+        trace=trace.name,
+        model="cioq",
+        onl_benefit=onl.benefit,
+        opt_benefit=opt.benefit,
+        n_packets=len(trace),
+        bound=bound,
+    )
+
+
+def measure_crossbar_ratio(
+    policy: CrossbarPolicy,
+    trace: Trace,
+    config: SwitchConfig,
+    bound: Optional[float] = None,
+) -> RatioMeasurement:
+    """Run ``policy`` and the exact OPT on a buffered crossbar instance."""
+    onl = run_crossbar(policy, config, trace)
+    opt = crossbar_opt(trace, config)
+    if onl.benefit > opt.benefit + 1e-6:
+        raise AssertionError(
+            f"online benefit {onl.benefit} exceeds OPT {opt.benefit}: "
+            f"offline model or engine is wrong"
+        )
+    return RatioMeasurement(
+        policy=policy.name,
+        trace=trace.name,
+        model="crossbar",
+        onl_benefit=onl.benefit,
+        opt_benefit=opt.benefit,
+        n_packets=len(trace),
+        bound=bound,
+    )
+
+
+def measure_many(
+    policy_factory: Callable[[], CIOQPolicy],
+    traces: Iterable[Trace],
+    config: SwitchConfig,
+    bound: Optional[float] = None,
+    model: str = "cioq",
+) -> List[RatioMeasurement]:
+    """Measure one policy across many traces (fresh policy per trace)."""
+    out: List[RatioMeasurement] = []
+    for trace in traces:
+        if model == "cioq":
+            out.append(measure_cioq_ratio(policy_factory(), trace, config, bound))
+        elif model == "crossbar":
+            out.append(
+                measure_crossbar_ratio(policy_factory(), trace, config, bound)
+            )
+        else:
+            raise ValueError(f"unknown model {model!r}")
+    return out
+
+
+def worst(measurements: Iterable[RatioMeasurement]) -> RatioMeasurement:
+    """The measurement with the largest ratio."""
+    ms = list(measurements)
+    if not ms:
+        raise ValueError("no measurements")
+    return max(ms, key=lambda m: m.ratio)
+
+
+def summarize(measurements: Iterable[RatioMeasurement]) -> dict:
+    """Aggregate statistics over a batch of measurements."""
+    ms = list(measurements)
+    ratios = [m.ratio for m in ms]
+    return {
+        "n": len(ms),
+        "max_ratio": max(ratios) if ratios else float("nan"),
+        "mean_ratio": sum(ratios) / len(ratios) if ratios else float("nan"),
+        "all_within_bound": all(m.within_bound for m in ms),
+    }

@@ -1,0 +1,77 @@
+"""Aligned-text tables for experiment output.
+
+The benchmark harness prints its tables through these helpers so that
+``pytest benchmarks/ --benchmark-only`` regenerates, in the console, the
+rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def _fmt(value: object, float_digits: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(r.get(c), float_digits) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[k]) for row in cells))
+        for k, c in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> None:
+    print(format_table(rows, columns=columns, title=title,
+                       float_digits=float_digits))
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table (used when
+    pasting results into EXPERIMENTS.md)."""
+    if not rows:
+        return "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    out = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    out.append("|" + "|".join("---" for _ in columns) + "|")
+    for r in rows:
+        out.append(
+            "| " + " | ".join(_fmt(r.get(c), float_digits) for c in columns) + " |"
+        )
+    return "\n".join(out) + "\n"

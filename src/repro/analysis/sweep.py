@@ -1,0 +1,176 @@
+"""Parameter-sweep drivers for the experiment suite.
+
+Thin, deterministic grid-sweep helpers shared by the benchmark modules:
+each returns plain list-of-dict rows ready for
+:func:`repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..core.pg import PGPolicy
+from ..core.cpg import CPGPolicy
+from ..offline.opt import cioq_opt, crossbar_opt
+from ..simulation.engine import run_cioq, run_crossbar
+from ..switch.config import SwitchConfig
+from ..traffic.base import TrafficModel
+from ..traffic.trace import Trace
+from .ratio import RatioMeasurement
+
+
+def grid(**params: Sequence) -> List[Dict]:
+    """Cartesian product of named parameter lists as dict rows."""
+    names = list(params.keys())
+    out: List[Dict] = []
+    for combo in itertools.product(*(params[n] for n in names)):
+        out.append(dict(zip(names, combo)))
+    return out
+
+
+def beta_sweep_pg(
+    trace: Trace,
+    config: SwitchConfig,
+    betas: Iterable[float],
+    opt_benefit: float = None,
+) -> List[Dict]:
+    """PG benefit and ratio as a function of the preemption threshold.
+
+    Computes OPT once (it does not depend on beta) and reruns PG per
+    beta.  Used by T2 to locate the empirical optimum and compare with
+    the analysis optimum ``1 + sqrt 2``.
+    """
+    if opt_benefit is None:
+        opt_benefit = cioq_opt(trace, config).benefit
+    rows: List[Dict] = []
+    for beta in betas:
+        onl = run_cioq(PGPolicy(beta=beta), config, trace)
+        rows.append(
+            {
+                "beta": round(float(beta), 4),
+                "pg_benefit": round(onl.benefit, 3),
+                "opt_benefit": round(opt_benefit, 3),
+                "ratio": round(opt_benefit / onl.benefit, 4)
+                if onl.benefit > 0
+                else float("inf"),
+                "preempted": onl.n_preempted,
+                "rejected": onl.n_rejected,
+            }
+        )
+    return rows
+
+
+def threshold_sweep_cpg(
+    trace: Trace,
+    config: SwitchConfig,
+    betas: Iterable[float],
+    alphas: Iterable[float],
+    opt_benefit: float = None,
+) -> List[Dict]:
+    """CPG benefit over a (beta, alpha) grid (T4/T9)."""
+    if opt_benefit is None:
+        opt_benefit = crossbar_opt(trace, config).benefit
+    rows: List[Dict] = []
+    for beta in betas:
+        for alpha in alphas:
+            onl = run_crossbar(CPGPolicy(beta=beta, alpha=alpha), config, trace)
+            rows.append(
+                {
+                    "beta": round(float(beta), 4),
+                    "alpha": round(float(alpha), 4),
+                    "cpg_benefit": round(onl.benefit, 3),
+                    "opt_benefit": round(opt_benefit, 3),
+                    "ratio": round(opt_benefit / onl.benefit, 4)
+                    if onl.benefit > 0
+                    else float("inf"),
+                    "preempted": onl.n_preempted,
+                }
+            )
+    return rows
+
+
+def speedup_sweep(
+    policy_factories: Mapping[str, Callable[[], object]],
+    traffic: TrafficModel,
+    n_slots: int,
+    speedups: Iterable[int],
+    base_config: SwitchConfig,
+    seeds: Iterable[int] = (0,),
+    model: str = "cioq",
+    include_opt: bool = True,
+) -> List[Dict]:
+    """Throughput of several policies as speedup varies (T6).
+
+    Every (speedup, seed) cell reruns each policy on the same trace; the
+    exact OPT column is included when ``include_opt``.
+    """
+    rows: List[Dict] = []
+    for s in speedups:
+        config = SwitchConfig(
+            n_in=base_config.n_in,
+            n_out=base_config.n_out,
+            speedup=int(s),
+            b_in=base_config.b_in,
+            b_out=base_config.b_out,
+            b_cross=base_config.b_cross,
+        )
+        for seed in seeds:
+            trace = traffic.generate(n_slots, seed=seed)
+            row: Dict = {"speedup": int(s), "seed": seed,
+                         "arrived": len(trace)}
+            for name, factory in policy_factories.items():
+                policy = factory()
+                if model == "cioq":
+                    res = run_cioq(policy, config, trace)
+                else:
+                    res = run_crossbar(policy, config, trace)
+                row[name] = round(res.benefit, 3)
+            if include_opt:
+                if model == "cioq":
+                    row["OPT"] = round(cioq_opt(trace, config).benefit, 3)
+                else:
+                    row["OPT"] = round(crossbar_opt(trace, config).benefit, 3)
+            rows.append(row)
+    return rows
+
+
+def buffer_sweep_crossbar(
+    policy_factory: Callable[[], object],
+    traffic: TrafficModel,
+    n_slots: int,
+    b_cross_values: Iterable[int],
+    base_config: SwitchConfig,
+    seeds: Iterable[int] = (0,),
+) -> List[Dict]:
+    """Crossbar benefit as crosspoint buffer capacity varies (T10)."""
+    rows: List[Dict] = []
+    for bc in b_cross_values:
+        config = SwitchConfig(
+            n_in=base_config.n_in,
+            n_out=base_config.n_out,
+            speedup=base_config.speedup,
+            b_in=base_config.b_in,
+            b_out=base_config.b_out,
+            b_cross=int(bc),
+        )
+        for seed in seeds:
+            trace = traffic.generate(n_slots, seed=seed)
+            res = run_crossbar(policy_factory(), config, trace)
+            opt = crossbar_opt(trace, config)
+            rows.append(
+                {
+                    "b_cross": int(bc),
+                    "seed": seed,
+                    "benefit": round(res.benefit, 3),
+                    "opt": round(opt.benefit, 3),
+                    "ratio": round(opt.benefit / res.benefit, 4)
+                    if res.benefit > 0
+                    else float("inf"),
+                }
+            )
+    return rows
+
+
+def measurements_to_rows(measurements: Iterable[RatioMeasurement]) -> List[Dict]:
+    return [m.as_row() for m in measurements]

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``figures``
+    Print the paper's Figure 1 / Figure 2 topology renderings.
+``run``
+    Simulate a policy on generated traffic and print the result summary
+    (optionally with delay statistics and an occupancy sparkline).
+``ratio``
+    Measure the empirical competitive ratio of a policy against the
+    exact offline optimum.
+``constants``
+    Print the paper's analytical constants with numerical verification.
+
+Examples::
+
+    python -m repro.cli run --policy pg --model cioq --n 4 --load 1.3 \
+        --values pareto --slots 50 --seed 3 --delays
+    python -m repro.cli ratio --policy gm --n 3 --load 1.2 --slots 20
+    python -m repro.cli figures --n 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis.latency import occupancy_report
+from .analysis.ratio import measure_cioq_ratio, measure_crossbar_ratio
+from .analysis.report import format_table
+from .core import CGUPolicy, CPGPolicy, GMPolicy, PGPolicy
+from .core.params import GM_RATIO, cpg_optimal_ratio, pg_optimal_ratio
+from .scheduling.baselines import (
+    MaxMatchPolicy,
+    MaxWeightMatchPolicy,
+    RandomMatchPolicy,
+    RoundRobinPolicy,
+)
+from .scheduling.fifo import FifoCIOQPolicy, FifoCrossbarPolicy
+from .simulation.engine import run_cioq, run_crossbar
+from .switch.cioq import CIOQSwitch
+from .switch.config import SwitchConfig
+from .switch.crossbar import CrossbarSwitch
+from .switch.diagram import render_cioq, render_crossbar
+from .traffic.bernoulli import BernoulliTraffic
+from .traffic.bursty import BurstyTraffic
+from .traffic.hotspot import DiagonalTraffic, HotspotTraffic
+from .traffic.values import (
+    pareto_values,
+    two_value,
+    uniform_values,
+    unit_values,
+)
+
+CIOQ_POLICIES = {
+    "gm": (GMPolicy, GM_RATIO),
+    "pg": (PGPolicy, None),  # bound depends on beta; filled at runtime
+    "maxmatch": (MaxMatchPolicy, GM_RATIO),
+    "maxweight": (MaxWeightMatchPolicy, 6.0),
+    "roundrobin": (RoundRobinPolicy, None),
+    "random": (RandomMatchPolicy, None),
+    "fifo": (FifoCIOQPolicy, None),
+}
+CROSSBAR_POLICIES = {
+    "cgu": (CGUPolicy, 3.0),
+    "cpg": (CPGPolicy, None),
+    "fifo": (FifoCrossbarPolicy, None),
+}
+VALUE_MODELS = {
+    "unit": unit_values,
+    "uniform": lambda: uniform_values(1, 100),
+    "two-value": lambda: two_value(10.0, 0.25),
+    "pareto": lambda: pareto_values(1.5),
+}
+TRAFFIC_MODELS = ("bernoulli", "bursty", "hotspot", "diagonal")
+
+
+def _build_config(args) -> SwitchConfig:
+    return SwitchConfig.square(
+        args.n,
+        speedup=args.speedup,
+        b_in=args.b_in,
+        b_out=args.b_out,
+        b_cross=args.b_cross,
+    )
+
+
+def _build_traffic(args):
+    values = VALUE_MODELS[args.values]()
+    if args.traffic == "bernoulli":
+        return BernoulliTraffic(args.n, args.n, load=args.load,
+                                value_model=values)
+    if args.traffic == "bursty":
+        return BurstyTraffic(args.n, args.n, burst_load=max(args.load, 0.1) * 2,
+                             value_model=values)
+    if args.traffic == "hotspot":
+        return HotspotTraffic(args.n, args.n, load=args.load,
+                              hot_fraction=0.6, value_model=values)
+    return DiagonalTraffic(args.n, args.n, load=args.load, value_model=values)
+
+
+def _make_policy(name: str, model: str, beta: Optional[float]):
+    table = CIOQ_POLICIES if model == "cioq" else CROSSBAR_POLICIES
+    if name not in table:
+        raise SystemExit(
+            f"unknown policy {name!r} for model {model}; choose from "
+            f"{sorted(table)}"
+        )
+    factory, bound = table[name]
+    if name == "pg":
+        policy = factory(beta=beta) if beta else factory()
+        from .core.params import pg_ratio
+
+        bound = pg_ratio(policy.beta)
+    elif name == "cpg":
+        policy = factory()
+        bound = cpg_optimal_ratio()
+    else:
+        policy = factory()
+    return policy, bound
+
+
+def cmd_figures(args) -> int:
+    config = SwitchConfig.square(args.n, b_in=3, b_out=3, b_cross=1)
+    print(render_cioq(CIOQSwitch(config),
+                      title=f"Figure 1: CIOQ switch, N = {args.n}"))
+    print(render_crossbar(
+        CrossbarSwitch(config),
+        title=f"Figure 2: buffered crossbar switch, N = {args.n}"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _build_config(args)
+    trace = _build_traffic(args).generate(args.slots, seed=args.seed)
+    policy, _ = _make_policy(args.policy, args.model, args.beta)
+    runner = run_cioq if args.model == "cioq" else run_crossbar
+    result = runner(policy, config, trace, record=args.delays,
+                    trace_occupancy=args.occupancy)
+    print(format_table([result.summary()],
+                       title=f"{policy.name} on {trace.name}"))
+    if args.delays:
+        stats = result.delay_stats(trace)
+        print(format_table([stats], title="delivery delay (slots)"))
+    if args.occupancy:
+        print(occupancy_report(result))
+    return 0
+
+
+def cmd_ratio(args) -> int:
+    config = _build_config(args)
+    trace = _build_traffic(args).generate(args.slots, seed=args.seed)
+    policy, bound = _make_policy(args.policy, args.model, args.beta)
+    if args.model == "cioq":
+        m = measure_cioq_ratio(policy, trace, config, bound=bound)
+    else:
+        m = measure_crossbar_ratio(policy, trace, config, bound=bound)
+    print(format_table([m.as_row()],
+                       title="empirical competitive ratio vs exact OPT"))
+    return 0 if m.within_bound else 1
+
+
+def cmd_constants(args) -> int:
+    from .theory.ratios import verify_paper_constants
+
+    report = verify_paper_constants()
+    rows = [{"constant": k, "value": v} for k, v in report.items()]
+    print(format_table(rows, title="paper constants (Theorems 2 and 4)"))
+    ok = report["pg_consistent"] and report["cpg_consistent"]
+    return 0 if ok else 1
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", choices=("cioq", "crossbar"), default="cioq")
+    p.add_argument("--n", type=int, default=4, help="ports per side")
+    p.add_argument("--speedup", type=int, default=1)
+    p.add_argument("--b-in", type=int, default=4, dest="b_in")
+    p.add_argument("--b-out", type=int, default=4, dest="b_out")
+    p.add_argument("--b-cross", type=int, default=1, dest="b_cross")
+    p.add_argument("--traffic", choices=TRAFFIC_MODELS, default="bernoulli")
+    p.add_argument("--values", choices=sorted(VALUE_MODELS), default="unit")
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--slots", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--beta", type=float, default=None,
+                   help="preemption threshold (pg only)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online packet scheduling for CIOQ and buffered "
+                    "crossbar switches (SPAA 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="print Figure 1 / Figure 2")
+    p_fig.add_argument("--n", type=int, default=3)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_run = sub.add_parser("run", help="simulate a policy")
+    _add_common(p_run)
+    p_run.add_argument("--policy", default="gm")
+    p_run.add_argument("--delays", action="store_true",
+                       help="report delivery-delay statistics")
+    p_run.add_argument("--occupancy", action="store_true",
+                       help="print an occupancy sparkline")
+    p_run.set_defaults(func=cmd_run)
+
+    p_ratio = sub.add_parser("ratio", help="measure ratio vs exact OPT")
+    _add_common(p_ratio)
+    p_ratio.add_argument("--policy", default="gm")
+    p_ratio.set_defaults(func=cmd_ratio)
+
+    p_const = sub.add_parser("constants", help="verify paper constants")
+    p_const.set_defaults(func=cmd_constants)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

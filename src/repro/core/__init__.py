@@ -1,0 +1,50 @@
+"""The paper's four scheduling algorithms and their analysis constants.
+
+* :class:`~repro.core.gm.GMPolicy` — Greedy Matching (CIOQ, unit values,
+  3-competitive, Theorem 1).
+* :class:`~repro.core.pg.PGPolicy` — Preemptive Greedy (CIOQ, general
+  values, (3 + 2 sqrt 2)-competitive, Theorem 2).
+* :class:`~repro.core.cgu.CGUPolicy` — Crossbar Greedy Unit (buffered
+  crossbar, unit values, 3-competitive, Theorem 3).
+* :class:`~repro.core.cpg.CPGPolicy` — Crossbar Preemptive Greedy
+  (buffered crossbar, general values, ~14.83-competitive, Theorem 4).
+"""
+
+from .gm import GMPolicy
+from .pg import PGPolicy, BETA_STAR
+from .cgu import CGUPolicy
+from .cpg import CPGPolicy
+from .params import (
+    GM_RATIO,
+    CGU_RATIO,
+    PREVIOUS_CGU_RATIO,
+    PREVIOUS_CPG_RATIO,
+    PREVIOUS_PG_RATIO,
+    cpg_optimal_params,
+    cpg_optimal_ratio,
+    cpg_ratio,
+    kesselman_cpg_params,
+    pg_optimal_beta,
+    pg_optimal_ratio,
+    pg_ratio,
+)
+
+__all__ = [
+    "GMPolicy",
+    "PGPolicy",
+    "BETA_STAR",
+    "CGUPolicy",
+    "CPGPolicy",
+    "GM_RATIO",
+    "CGU_RATIO",
+    "PREVIOUS_CGU_RATIO",
+    "PREVIOUS_CPG_RATIO",
+    "PREVIOUS_PG_RATIO",
+    "cpg_optimal_params",
+    "cpg_optimal_ratio",
+    "cpg_ratio",
+    "kesselman_cpg_params",
+    "pg_optimal_beta",
+    "pg_optimal_ratio",
+    "pg_ratio",
+]

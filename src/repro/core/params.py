@@ -1,0 +1,108 @@
+"""Closed-form competitive ratios and optimal parameters.
+
+This module encodes the ratio expressions derived in the paper's
+analyses, the optimal parameter choices, and the exotic radical constants
+of Theorem 4, so that tests and experiments can verify them numerically
+and sweeps can compare empirical optima against the analytical ones.
+
+* PG (Theorem 2): ratio(beta) = beta + 2*beta/(beta - 1), minimized at
+  ``beta* = 1 + sqrt(2)`` with value ``3 + 2*sqrt(2) ~ 5.8284``.
+* CPG (Theorem 4): ratio(beta, alpha) =
+  alpha*beta + (2*alpha*beta + alpha*beta*(beta-1)) / ((alpha-1)*(beta-1)),
+  minimized at ``beta* = (rho^2 + rho + 4) / (3*rho)`` with
+  ``rho = (19 + 3*sqrt(33))^(1/3)`` and ``alpha* = 2/(beta*-1)^2``; the
+  minimum is ``((chi+4)*rho^2 + (chi+16)*rho + 56)/12 ~ 14.83`` with
+  ``chi = 19 - 3*sqrt(33)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: GM / CGU competitive ratio (Theorems 1 and 3).
+GM_RATIO = 3.0
+CGU_RATIO = 3.0
+
+#: Previously known ratios the paper improves upon (for reporting).
+PREVIOUS_CGU_RATIO = 4.0
+PREVIOUS_PG_RATIO = 6.0
+PREVIOUS_CPG_RATIO = 16.24
+
+
+def pg_ratio(beta: float) -> float:
+    """PG's competitive ratio bound ``beta + 2 beta / (beta - 1)``.
+
+    Valid for ``beta > 1``; diverges as beta -> 1+ (the preemption-chain
+    term) and grows linearly for large beta (the output-alignment term).
+    """
+    if beta <= 1.0:
+        return math.inf
+    return beta + 2.0 * beta / (beta - 1.0)
+
+
+def pg_optimal_beta() -> float:
+    """The minimizer of :func:`pg_ratio`: ``1 + sqrt(2)``."""
+    return 1.0 + math.sqrt(2.0)
+
+
+def pg_optimal_ratio() -> float:
+    """The minimum PG ratio: ``3 + 2 sqrt(2) ~ 5.8284`` (Theorem 2)."""
+    return 3.0 + 2.0 * math.sqrt(2.0)
+
+
+def cpg_ratio(beta: float, alpha: float) -> float:
+    """CPG's competitive ratio bound (Theorem 4's final expression).
+
+    ``alpha*beta + (2 alpha beta + alpha beta (beta-1)) /
+    ((alpha-1)(beta-1))``, valid for ``alpha > 1`` and ``beta > 1``.
+    """
+    if beta <= 1.0 or alpha <= 1.0:
+        return math.inf
+    ab = alpha * beta
+    return ab + (2.0 * ab + ab * (beta - 1.0)) / ((alpha - 1.0) * (beta - 1.0))
+
+
+def cpg_optimal_params() -> Tuple[float, float, float]:
+    """The paper's optimal ``(beta*, alpha*, ratio*)`` for CPG.
+
+    ``beta* = (rho^2 + rho + 4)/(3 rho)`` with
+    ``rho = (19 + 3 sqrt(33))^(1/3)``, ``alpha* = 2/(beta* - 1)^2``, and
+    ``ratio* = ((chi+4) rho^2 + (chi+16) rho + 56)/12`` with
+    ``chi = 19 - 3 sqrt(33)`` — approximately (1.8393, 2.8392, 14.83).
+    """
+    rho = (19.0 + 3.0 * math.sqrt(33.0)) ** (1.0 / 3.0)
+    beta = (rho * rho + rho + 4.0) / (3.0 * rho)
+    alpha = 2.0 / (beta - 1.0) ** 2
+    chi = 19.0 - 3.0 * math.sqrt(33.0)
+    ratio = ((chi + 4.0) * rho * rho + (chi + 16.0) * rho + 56.0) / 12.0
+    return beta, alpha, ratio
+
+
+def cpg_optimal_ratio() -> float:
+    """The minimum CPG ratio (~14.83, Theorem 4)."""
+    return cpg_optimal_params()[2]
+
+
+def kesselman_cpg_params() -> Tuple[float, float]:
+    """The single-threshold choice ``beta == alpha`` of the prior
+    16.24-competitive algorithm (Kesselman, Kogan, Segal 2012): the
+    minimizer of ``cpg_ratio(t, t)``.
+
+    Used by the T9 ablation to quantify the benefit of decoupling the
+    thresholds.  Computed numerically by golden-section search.
+    """
+    lo, hi = 1.0 + 1e-9, 16.0
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    for _ in range(200):
+        if cpg_ratio(c, c) < cpg_ratio(d, d):
+            b = d
+        else:
+            a = c
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+    t = (a + b) / 2.0
+    return t, t

@@ -1,0 +1,104 @@
+"""Preemptive Greedy (PG) — Section 2.2 of the paper.
+
+PG is the paper's general-value CIOQ algorithm, shown (3 + 2*sqrt(2))-
+competitive, about 5.83, for any speedup when beta = sqrt(2) + 1
+(Theorem 2).  It improves on the 6-competitive maximum-matching
+algorithm of Kesselman and Rosen by using a *greedy maximal weighted*
+matching instead.
+
+With ``g_ij(t)`` the most valuable packet of VOQ ``Q_ij`` and ``l_ij(t)``
+/ ``l_j(t)`` the least valuable packets of ``Q_ij`` / output queue
+``Q_j``:
+
+* **Arrival phase** — accept ``p`` iff ``|Q_ij| < B(Q_ij)`` or
+  ``v(l_ij) < v(p)``; when accepting into a full queue, preempt
+  ``l_ij``.
+* **Scheduling phase** — edge (u_i, v_j) exists iff ``|Q_ij| > 0`` and
+  (``|Q_j| < B(Q_j)`` or ``v(g_ij) > beta * v(l_j)``); its weight is
+  ``v(g_ij)``.  Compute a greedy maximal matching scanning edges in
+  descending weight; transfer ``g_ij`` along each matched edge,
+  preempting ``l_j`` when the output queue is full.
+* **Transmission phase** — send the most valuable packet of every
+  non-empty output queue.
+
+The preemption threshold ``beta >= 1`` trades admission aggressiveness
+against preemption waste; the analysis optimum is ``beta* = 1 + sqrt(2)``
+(see :mod:`repro.core.params` and experiment T2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..scheduling.base import ArrivalDecision, CIOQPolicy
+from ..scheduling.matching import MatchingStats, greedy_maximal_matching_weighted
+from ..switch.cioq import CIOQSwitch, Transfer
+from ..switch.packet import Packet
+
+#: The analysis-optimal preemption threshold beta* = 1 + sqrt(2).
+BETA_STAR = 1.0 + math.sqrt(2.0)
+
+
+class PGPolicy(CIOQPolicy):
+    """Preemptive Greedy: (3 + 2 sqrt 2)-competitive weighted CIOQ
+    scheduling.
+
+    Parameters
+    ----------
+    beta:
+        Preemption threshold (>= 1).  Defaults to the analysis optimum
+        ``1 + sqrt(2)``.
+    stats:
+        Optional :class:`MatchingStats` accumulator.
+    """
+
+    def __init__(self, beta: float = BETA_STAR, stats: Optional[MatchingStats] = None):
+        if beta < 1.0:
+            raise ValueError(f"beta must be >= 1, got {beta}")
+        self.beta = float(beta)
+        self.stats = stats
+        self.name = f"PG(beta={self.beta:.4g})"
+
+    def on_arrival(self, switch: CIOQSwitch, packet: Packet) -> ArrivalDecision:
+        q = switch.voq[packet.src][packet.dst]
+        if not q.is_full:
+            return ArrivalDecision.accepted()
+        tail = q.tail()
+        assert tail is not None
+        if tail.value < packet.value:
+            return ArrivalDecision.accepted(preempt=tail)
+        return ArrivalDecision.reject()
+
+    def _edge_eligible(self, switch: CIOQSwitch, i: int, j: int) -> Optional[Packet]:
+        """Return g_ij if edge (i, j) is in G_{T[s]}, else None."""
+        g = switch.voq[i][j].head()
+        if g is None:
+            return None
+        out_q = switch.out[j]
+        if not out_q.is_full:
+            return g
+        tail = out_q.tail()
+        assert tail is not None
+        if g.value > self.beta * tail.value:
+            return g
+        return None
+
+    def schedule(self, switch: CIOQSwitch, slot: int, cycle: int) -> List[Transfer]:
+        edges = []
+        heads = {}
+        for i in range(switch.n_in):
+            for j in range(switch.n_out):
+                g = self._edge_eligible(switch, i, j)
+                if g is not None:
+                    edges.append((i, j, g.value))
+                    heads[(i, j)] = g
+
+        matching = greedy_maximal_matching_weighted(edges, stats=self.stats)
+        transfers: List[Transfer] = []
+        for i, j, _w in matching:
+            g = heads[(i, j)]
+            out_q = switch.out[j]
+            victim = out_q.tail() if out_q.is_full else None
+            transfers.append(Transfer(i, j, g, preempt=victim))
+        return transfers

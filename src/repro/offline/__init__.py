@@ -1,0 +1,24 @@
+"""Offline optimum substrate: exact OPT and bounds for both switch models."""
+
+from .mcmf import MinCostFlow
+from .timegraph import CIOQOptModel, OptResult, cioq_relaxation_bound, default_horizon
+from .crossbar_timegraph import CrossbarOptModel
+from .bruteforce import bruteforce_cioq_opt_unit
+from .decompose import OptSchedule, PacketItinerary, decompose_cioq_opt
+from .opt import cioq_opt, cioq_upper_bound, crossbar_opt
+
+__all__ = [
+    "MinCostFlow",
+    "CIOQOptModel",
+    "OptResult",
+    "cioq_relaxation_bound",
+    "default_horizon",
+    "CrossbarOptModel",
+    "bruteforce_cioq_opt_unit",
+    "OptSchedule",
+    "PacketItinerary",
+    "decompose_cioq_opt",
+    "cioq_opt",
+    "cioq_upper_bound",
+    "crossbar_opt",
+]

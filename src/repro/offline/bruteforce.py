@@ -1,0 +1,123 @@
+"""Exhaustive offline optimum for tiny unit-value CIOQ instances.
+
+Independent validation oracle for the integer-programming model: a
+depth-first search over all admissible schedules.  Exponential — only
+usable for instances with a handful of ports, slots and packets — but it
+makes *no* modelling assumptions beyond the switch semantics themselves,
+so agreement with :class:`~repro.offline.timegraph.CIOQOptModel` on
+random tiny instances is strong evidence both are right.
+
+Two wlog reductions keep the search tractable for unit values:
+
+* **greedy acceptance** — all packets are identical, so accepting
+  whenever the VOQ has space is optimal (an exchange argument swaps any
+  rejected-now/accepted-later pair),
+* **greedy transmission** — sending from every non-empty output queue
+  is optimal (holding a unit packet back never helps).
+
+The branching is therefore only over the per-cycle matchings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..simulation.engine import drain_bound
+from ..switch.config import SwitchConfig
+from ..traffic.trace import Trace
+
+
+def _all_matchings(edges: Tuple[Tuple[int, int], ...]) -> List[Tuple[Tuple[int, int], ...]]:
+    """Enumerate *all* matchings (including the empty and non-maximal
+    ones) of the given edge set.
+
+    Each matching is generated exactly once by extending only with
+    higher-indexed edges, so no deduplication is needed.  Exhaustive by
+    design: the oracle must not assume any dominance property.
+    """
+    results: List[Tuple[Tuple[int, int], ...]] = []
+
+    def extend(start: int, current: List[Tuple[int, int]], used_i: int, used_j: int):
+        results.append(tuple(current))
+        for k in range(start, len(edges)):
+            i, j = edges[k]
+            if used_i & (1 << i) or used_j & (1 << j):
+                continue
+            current.append((i, j))
+            extend(k + 1, current, used_i | (1 << i), used_j | (1 << j))
+            current.pop()
+
+    extend(0, [], 0, 0)
+    return results
+
+
+def bruteforce_cioq_opt_unit(trace: Trace, config: SwitchConfig) -> int:
+    """Maximum number of deliverable packets, by exhaustive search.
+
+    Only valid for unit-value traces; raises otherwise.
+    """
+    if not trace.is_unit_valued:
+        raise ValueError("brute force oracle supports unit-value traces only")
+    n_in, n_out = config.n_in, config.n_out
+    if n_in > 4 or n_out > 4:
+        raise ValueError("brute force oracle limited to 4x4 switches")
+    horizon = trace.n_slots + drain_bound(config)
+    S = config.speedup
+    b_in, b_out = config.b_in, config.b_out
+
+    arrivals: List[Tuple[Tuple[int, int], ...]] = []
+    for t in range(trace.n_slots):
+        counts: Dict[Tuple[int, int], int] = {}
+        for p in trace.arrivals(t):
+            counts[(p.src, p.dst)] = counts.get((p.src, p.dst), 0) + 1
+        arrivals.append(tuple(sorted(counts.items())))
+
+    VoqState = Tuple[int, ...]  # row-major VOQ occupancy counts
+    OutState = Tuple[int, ...]
+
+    def idx(i: int, j: int) -> int:
+        return i * n_out + j
+
+    @lru_cache(maxsize=None)
+    def best_from(t: int, voq: VoqState, out: OutState) -> int:
+        if t >= horizon:
+            return 0
+        if t >= trace.n_slots and sum(voq) == 0 and sum(out) == 0:
+            return 0
+
+        # Arrival phase (greedy acceptance is wlog for unit values).
+        voq_l = list(voq)
+        if t < trace.n_slots:
+            for (i, j), cnt in arrivals[t]:
+                space = b_in - voq_l[idx(i, j)]
+                voq_l[idx(i, j)] += min(cnt, space)
+
+        # Scheduling phase: branch over matchings, cycle by cycle.
+        def after_cycles(s: int, voq_s: Tuple[int, ...], out_s: Tuple[int, ...]) -> int:
+            if s == S:
+                # Transmission phase: greedy send (wlog for unit values).
+                sent = sum(1 for o in out_s if o > 0)
+                new_out = tuple(o - 1 if o > 0 else 0 for o in out_s)
+                return sent + best_from(t + 1, voq_s, new_out)
+            edges = tuple(
+                (i, j)
+                for i in range(n_in)
+                for j in range(n_out)
+                if voq_s[idx(i, j)] > 0 and out_s[j] < b_out
+            )
+            best = 0
+            for matching in _all_matchings(edges):
+                v2 = list(voq_s)
+                o2 = list(out_s)
+                for i, j in matching:
+                    v2[idx(i, j)] -= 1
+                    o2[j] += 1
+                best = max(best, after_cycles(s + 1, tuple(v2), tuple(o2)))
+            return best
+
+        return after_cycles(0, tuple(voq_l), tuple(out))
+
+    result = best_from(0, tuple([0] * (n_in * n_out)), tuple([0] * n_out))
+    best_from.cache_clear()
+    return result

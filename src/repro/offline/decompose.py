@@ -1,0 +1,132 @@
+"""Per-packet decomposition of an offline-optimum solution.
+
+The MILP solution is an aggregate flow: per-cycle departure counts and
+per-slot transmission counts.  For the proof-machinery replay
+(:mod:`repro.theory.shadow`) and for human inspection we convert it to a
+per-packet timeline.
+
+For unit-value traces (the Lemma 1/8 setting) any consistent assignment
+is valid; we use the canonical FIFO assignment:
+
+* within each VOQ (i, j), the k-th accepted packet (by arrival) takes
+  the k-th departure cycle — feasible because the aggregate flow
+  satisfies the prefix property (departures by any time never exceed
+  accepted arrivals by that time),
+* within each output queue j, the k-th entering packet takes the k-th
+  transmission slot — feasible for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..traffic.trace import Trace
+from .timegraph import OptResult
+
+
+@dataclass
+class PacketItinerary:
+    """The offline optimum's timeline for one delivered packet."""
+
+    pid: int
+    src: int
+    dst: int
+    arrival: int
+    #: Scheduling cycle (slot, cycle-index) of the VOQ -> output transfer.
+    depart: Tuple[int, int]
+    #: Slot in which the packet is transmitted.
+    transmit_slot: int
+
+
+@dataclass
+class OptSchedule:
+    """Full per-packet schedule of an offline optimum run."""
+
+    itineraries: Dict[int, PacketItinerary]
+    benefit: float
+
+    def departures_in_cycle(self, t: int, s: int) -> List[PacketItinerary]:
+        return [
+            it for it in self.itineraries.values() if it.depart == (t, s)
+        ]
+
+    def validate(self, trace: Trace) -> None:
+        """Check ordering feasibility of every itinerary."""
+        by_pid = {p.pid: p for p in trace.packets}
+        for it in self.itineraries.values():
+            p = by_pid[it.pid]
+            assert (p.src, p.dst, p.arrival) == (it.src, it.dst, it.arrival)
+            assert it.depart[0] >= it.arrival, "departed before arrival"
+            assert it.transmit_slot >= it.depart[0], "transmitted before transfer"
+
+
+def decompose_cioq_opt(trace: Trace, result: OptResult) -> OptSchedule:
+    """FIFO per-packet assignment of an extracted CIOQ OPT solution.
+
+    ``result`` must have been produced with ``extract_schedule=True``.
+    """
+    by_pid = {p.pid: p for p in trace.packets}
+    accepted = sorted(
+        (by_pid[pid] for pid in result.accepted_pids),
+        key=lambda p: (p.arrival, p.pid),
+    )
+
+    # Assign departures within each (i, j) FIFO by arrival.
+    dep_by_pair: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for t, s, i, j in result.departures:
+        dep_by_pair.setdefault((i, j), []).append((t, s))
+    for cycles in dep_by_pair.values():
+        cycles.sort()
+    acc_by_pair: Dict[Tuple[int, int], List] = {}
+    for p in accepted:
+        acc_by_pair.setdefault((p.src, p.dst), []).append(p)
+
+    itineraries: Dict[int, PacketItinerary] = {}
+    entered_out: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+    for pair, plist in acc_by_pair.items():
+        cycles = dep_by_pair.get(pair, [])
+        if len(cycles) != len(plist):
+            raise ValueError(
+                f"decomposition mismatch at VOQ {pair}: {len(plist)} accepted "
+                f"vs {len(cycles)} departures"
+            )
+        for p, cyc in zip(plist, cycles):
+            if cyc[0] < p.arrival:
+                raise ValueError(
+                    f"packet {p.pid} would depart at slot {cyc[0]} before its "
+                    f"arrival {p.arrival}"
+                )
+            itineraries[p.pid] = PacketItinerary(
+                pid=p.pid,
+                src=p.src,
+                dst=p.dst,
+                arrival=p.arrival,
+                depart=cyc,
+                transmit_slot=-1,
+            )
+            entered_out.setdefault(p.dst, []).append((cyc, p.pid))
+
+    # Assign transmissions within each output FIFO by entry cycle.
+    trans_by_out: Dict[int, List[int]] = {}
+    for t, j in result.transmissions:
+        trans_by_out.setdefault(j, []).append(t)
+    for slots in trans_by_out.values():
+        slots.sort()
+    for j, entries in entered_out.items():
+        entries.sort()
+        slots = trans_by_out.get(j, [])
+        if len(slots) != len(entries):
+            raise ValueError(
+                f"decomposition mismatch at output {j}: {len(entries)} entries "
+                f"vs {len(slots)} transmissions"
+            )
+        for (cyc, pid), slot in zip(entries, slots):
+            if slot < cyc[0]:
+                raise ValueError(
+                    f"packet {pid} would transmit at slot {slot} before its "
+                    f"transfer slot {cyc[0]}"
+                )
+            itineraries[pid].transmit_slot = slot
+
+    return OptSchedule(itineraries=itineraries, benefit=result.benefit)

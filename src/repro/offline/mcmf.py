@@ -1,0 +1,197 @@
+"""Min-cost flow solver (successive shortest paths, from scratch).
+
+Used by the *relaxation* bound on the offline optimum (see
+:mod:`repro.offline.timegraph`): the time-expanded switch network with
+port-budget nodes is a classical flow network whose max-benefit flow
+upper-bounds OPT (it relaxes the requirement that a packet leaving input
+port ``i`` in a cycle is the one entering its *own* output queue).  The
+exact OPT is computed by the integer program in the same module; this
+solver provides a fast sanity bound and is independently useful as a
+substrate.
+
+Implementation: adjacency-array residual graph; one Bellman–Ford/SPFA
+pass establishes potentials (costs may be negative — packet-value arcs),
+then repeated Dijkstra-with-potentials augmentations.  For *max-benefit*
+flow (flow value free, total cost minimized) augmentation stops when the
+cheapest augmenting path has non-negative real cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+INF = float("inf")
+
+
+class MinCostFlow:
+    """Residual-graph min-cost flow over ``n`` nodes.
+
+    Edges are added with :meth:`add_edge` (returning an edge id whose
+    flow can be queried after solving).  Two solve modes:
+
+    * :meth:`solve_min_cost_max_flow` — classical: maximize flow value,
+      among those minimize cost.
+    * :meth:`solve_max_benefit` — maximize ``-cost`` over all feasible
+      flows of any value (augment only while paths have negative cost).
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("flow network needs at least 2 nodes")
+        self.n = n
+        # Parallel arrays: edge i and i^1 are a residual pair.
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._cost: List[float] = []
+        self._adj: List[List[int]] = [[] for _ in range(n)]
+        self._orig_cap: List[float] = []
+
+    def add_edge(self, u: int, v: int, cap: float, cost: float) -> int:
+        """Add a directed edge u -> v; returns its id for flow queries."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range (n={self.n})")
+        if cap < 0:
+            raise ValueError(f"negative capacity {cap}")
+        eid = len(self._to)
+        self._to.append(v)
+        self._cap.append(float(cap))
+        self._cost.append(float(cost))
+        self._adj[u].append(eid)
+        self._to.append(u)
+        self._cap.append(0.0)
+        self._cost.append(-float(cost))
+        self._adj[v].append(eid + 1)
+        self._orig_cap.append(float(cap))
+        self._orig_cap.append(0.0)
+        return eid
+
+    def flow_on(self, eid: int) -> float:
+        """Flow routed through edge ``eid`` (after a solve)."""
+        return self._orig_cap[eid] - self._cap[eid]
+
+    # -- internals -----------------------------------------------------------
+
+    def _initial_potentials(self, src: int) -> List[float]:
+        """SPFA (queue-based Bellman–Ford) from ``src``.
+
+        The time-expanded graphs are DAGs, so this terminates quickly;
+        it also works for general graphs without negative cycles.
+        """
+        dist = [INF] * self.n
+        dist[src] = 0.0
+        in_queue = [False] * self.n
+        queue = [src]
+        in_queue[src] = True
+        qi = 0
+        while qi < len(queue):
+            u = queue[qi]
+            qi += 1
+            in_queue[u] = False
+            du = dist[u]
+            for eid in self._adj[u]:
+                if self._cap[eid] <= 0:
+                    continue
+                v = self._to[eid]
+                nd = du + self._cost[eid]
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    if not in_queue[v]:
+                        queue.append(v)
+                        in_queue[v] = True
+        return dist
+
+    def _dijkstra(
+        self, src: int, snk: int, pot: List[float]
+    ) -> Tuple[List[float], List[int]]:
+        """Dijkstra on reduced costs; returns (dist, parent-edge)."""
+        dist = [INF] * self.n
+        parent_edge = [-1] * self.n
+        dist[src] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, src)]
+        visited = [False] * self.n
+        while heap:
+            d, u = heapq.heappop(heap)
+            if visited[u]:
+                continue
+            visited[u] = True
+            if u == snk:
+                # All remaining labels are >= dist[snk]; safe to stop.
+                break
+            for eid in self._adj[u]:
+                if self._cap[eid] <= 0:
+                    continue
+                v = self._to[eid]
+                if visited[v] or pot[v] == INF:
+                    continue
+                rc = self._cost[eid] + pot[u] - pot[v]
+                # Reduced costs are non-negative up to float noise.
+                if rc < 0:
+                    rc = 0.0
+                nd = d + rc
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    parent_edge[v] = eid
+                    heapq.heappush(heap, (nd, v))
+        return dist, parent_edge
+
+    def _augment(self, src: int, snk: int, parent_edge: List[int]) -> Tuple[float, float]:
+        """Push the bottleneck along the found path; returns (flow, cost)."""
+        bottleneck = INF
+        v = snk
+        while v != src:
+            eid = parent_edge[v]
+            bottleneck = min(bottleneck, self._cap[eid])
+            v = self._to[eid ^ 1]
+        cost = 0.0
+        v = snk
+        while v != src:
+            eid = parent_edge[v]
+            self._cap[eid] -= bottleneck
+            self._cap[eid ^ 1] += bottleneck
+            cost += self._cost[eid] * bottleneck
+            v = self._to[eid ^ 1]
+        return bottleneck, cost
+
+    def _run(
+        self, src: int, snk: int, stop_when_nonnegative: bool
+    ) -> Tuple[float, float]:
+        pot = self._initial_potentials(src)
+        if pot[snk] == INF:
+            return 0.0, 0.0
+        total_flow = 0.0
+        total_cost = 0.0
+        while True:
+            dist, parent_edge = self._dijkstra(src, snk, pot)
+            if dist[snk] == INF:
+                break
+            real_path_cost = dist[snk] + pot[snk] - pot[src]
+            if stop_when_nonnegative and real_path_cost >= -1e-9:
+                break
+            flow, cost = self._augment(src, snk, parent_edge)
+            total_flow += flow
+            total_cost += cost
+            for v in range(self.n):
+                if dist[v] < INF and pot[v] < INF:
+                    pot[v] += dist[v]
+        return total_flow, total_cost
+
+    # -- public solves --------------------------------------------------------
+
+    def solve_min_cost_max_flow(self, src: int, snk: int) -> Tuple[float, float]:
+        """Maximize flow from src to snk; among max flows minimize cost.
+
+        Correct when every src->snk augmenting path in the *residual*
+        graph keeps non-negative reduced costs — true for graphs without
+        negative cycles (our DAG-shaped instances).
+        Returns ``(flow_value, total_cost)``.
+        """
+        return self._run(src, snk, stop_when_nonnegative=False)
+
+    def solve_max_benefit(self, src: int, snk: int) -> Tuple[float, float]:
+        """Find the flow minimizing total cost with *free* flow value.
+
+        With packet arcs costed ``-v(p)``, the returned ``-cost`` is the
+        maximum achievable benefit.  Returns ``(flow_value, total_cost)``.
+        """
+        return self._run(src, snk, stop_when_nonnegative=True)

@@ -1,0 +1,53 @@
+"""Facade over the offline-optimum solvers.
+
+`cioq_opt` / `crossbar_opt` are what experiments call: exact OPT benefit
+(and optionally the extracted schedule) for a given trace and switch
+configuration.  The heavy lifting lives in
+:class:`~repro.offline.timegraph.CIOQOptModel` and
+:class:`~repro.offline.crossbar_timegraph.CrossbarOptModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..switch.config import SwitchConfig
+from ..traffic.trace import Trace
+from .crossbar_timegraph import CrossbarOptModel
+from .timegraph import CIOQOptModel, OptResult, cioq_relaxation_bound
+
+
+def cioq_opt(
+    trace: Trace,
+    config: SwitchConfig,
+    horizon: Optional[int] = None,
+    extract_schedule: bool = False,
+) -> OptResult:
+    """Exact offline optimum benefit for a CIOQ instance."""
+    model = CIOQOptModel(trace, config, horizon=horizon)
+    return model.solve(extract_schedule=extract_schedule)
+
+
+def crossbar_opt(
+    trace: Trace,
+    config: SwitchConfig,
+    horizon: Optional[int] = None,
+    extract_schedule: bool = False,
+) -> OptResult:
+    """Exact offline optimum benefit for a buffered crossbar instance.
+
+    Note: the crossbar optimum is always >= the CIOQ optimum on the same
+    trace and capacities (crosspoint buffers only add capability), a
+    relation the integration tests exercise.
+    """
+    model = CrossbarOptModel(trace, config, horizon=horizon)
+    return model.solve(extract_schedule=extract_schedule)
+
+
+def cioq_upper_bound(
+    trace: Trace,
+    config: SwitchConfig,
+    horizon: Optional[int] = None,
+) -> float:
+    """Fast flow-relaxation upper bound on the CIOQ offline optimum."""
+    return cioq_relaxation_bound(trace, config, horizon=horizon)

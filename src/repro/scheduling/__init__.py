@@ -1,0 +1,43 @@
+"""Scheduling substrate: policy interfaces, matching engines, baselines."""
+
+from .base import ArrivalDecision, CIOQPolicy, CrossbarPolicy
+from .matching import (
+    MatchingStats,
+    greedy_maximal_matching,
+    greedy_maximal_matching_weighted,
+    hopcroft_karp,
+    is_matching,
+    is_maximal,
+    matching_weight,
+    max_weight_matching,
+)
+from .baselines import (
+    CrossbarGreedyWeightedPolicy,
+    MaxMatchPolicy,
+    MaxWeightMatchPolicy,
+    RandomMatchPolicy,
+    RoundRobinPolicy,
+)
+from .fifo import FifoCIOQPolicy, FifoCrossbarPolicy, head_of_line
+
+__all__ = [
+    "ArrivalDecision",
+    "CIOQPolicy",
+    "CrossbarPolicy",
+    "MatchingStats",
+    "greedy_maximal_matching",
+    "greedy_maximal_matching_weighted",
+    "hopcroft_karp",
+    "is_matching",
+    "is_maximal",
+    "matching_weight",
+    "max_weight_matching",
+    "CrossbarGreedyWeightedPolicy",
+    "MaxMatchPolicy",
+    "MaxWeightMatchPolicy",
+    "RandomMatchPolicy",
+    "RoundRobinPolicy",
+    "FifoCIOQPolicy",
+    "FifoCrossbarPolicy",
+    "head_of_line",
+]

@@ -1,0 +1,105 @@
+"""Policy interfaces for the two switch models.
+
+A *policy* makes the decisions of the three phases in Section 1.3:
+
+* **arrival phase** — per arriving packet: accept (possibly preempting a
+  queued packet) or reject;
+* **scheduling phase** — per scheduling cycle: a set of fabric transfers
+  forming an admissible schedule (CIOQ: a matching; crossbar: one packet
+  per input port in the input subphase, one per output port in the output
+  subphase);
+* **transmission phase** — per output port: which packet to send.
+
+Policies only *decide*; the :mod:`repro.simulation.engine` applies the
+decisions to the switch state and validates admissibility, so a policy
+bug surfaces as a :class:`~repro.switch.cioq.ScheduleError` rather than
+as silently inflated benefit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..switch.cioq import CIOQSwitch, Transfer, greedy_head_transmissions
+from ..switch.crossbar import CrossbarSwitch, InputTransfer, OutputTransfer
+from ..switch.crossbar import greedy_head_transmissions as crossbar_head_transmissions
+from ..switch.packet import Packet
+
+
+@dataclass
+class ArrivalDecision:
+    """Outcome of the arrival phase for one packet.
+
+    ``accept=False`` means the packet is rejected (discarded on arrival).
+    ``preempt`` optionally names a packet currently in the same VOQ that
+    is discarded to make room (PG/CPG arrival rule).
+    """
+
+    accept: bool
+    preempt: Optional[Packet] = None
+
+    @classmethod
+    def reject(cls) -> "ArrivalDecision":
+        return cls(accept=False)
+
+    @classmethod
+    def accepted(cls, preempt: Optional[Packet] = None) -> "ArrivalDecision":
+        return cls(accept=True, preempt=preempt)
+
+
+class CIOQPolicy(ABC):
+    """Decision interface for CIOQ switches."""
+
+    #: Human-readable policy name used in reports and tables.
+    name: str = "cioq-policy"
+
+    def reset(self, switch: CIOQSwitch) -> None:
+        """Called once before a simulation starts (clear any policy state)."""
+
+    @abstractmethod
+    def on_arrival(self, switch: CIOQSwitch, packet: Packet) -> ArrivalDecision:
+        """Decide acceptance of ``packet`` into VOQ Q[packet.src][packet.dst]."""
+
+    @abstractmethod
+    def schedule(self, switch: CIOQSwitch, slot: int, cycle: int) -> List[Transfer]:
+        """Decide the fabric matching for scheduling cycle ``T[s]``."""
+
+    def select_transmissions(self, switch: CIOQSwitch) -> Dict[int, Packet]:
+        """Decide the transmission phase; default: send every head packet.
+
+        All four paper algorithms transmit greedily (the most valuable
+        packet of every non-empty output queue), so this default is
+        rarely overridden.
+        """
+        return greedy_head_transmissions(switch)
+
+
+class CrossbarPolicy(ABC):
+    """Decision interface for buffered crossbar switches."""
+
+    name: str = "crossbar-policy"
+
+    def reset(self, switch: CrossbarSwitch) -> None:
+        """Called once before a simulation starts (clear any policy state)."""
+
+    @abstractmethod
+    def on_arrival(self, switch: CrossbarSwitch, packet: Packet) -> ArrivalDecision:
+        """Decide acceptance of ``packet`` into VOQ Q[packet.src][packet.dst]."""
+
+    @abstractmethod
+    def input_subphase(
+        self, switch: CrossbarSwitch, slot: int, cycle: int
+    ) -> List[InputTransfer]:
+        """Decide VOQ -> crosspoint transfers (at most one per input port)."""
+
+    @abstractmethod
+    def output_subphase(
+        self, switch: CrossbarSwitch, slot: int, cycle: int
+    ) -> List[OutputTransfer]:
+        """Decide crosspoint -> output transfers (at most one per output)."""
+
+    def select_transmissions(self, switch: CrossbarSwitch) -> Dict[int, Packet]:
+        """Default transmission phase: send every output-queue head."""
+        return crossbar_head_transmissions(switch)

@@ -1,0 +1,13 @@
+"""Simulation substrate: the discrete-time engine and result records."""
+
+from .engine import drain_bound, run_cioq, run_cioq_streaming, run_crossbar
+from .results import SimulationResult, TransferEvent
+
+__all__ = [
+    "drain_bound",
+    "run_cioq",
+    "run_cioq_streaming",
+    "run_crossbar",
+    "SimulationResult",
+    "TransferEvent",
+]

@@ -1,0 +1,33 @@
+"""Switch substrate: packets, queues and the two switch architectures.
+
+This subpackage implements the hardware model of Section 1.3 of the
+paper: the :class:`~repro.switch.cioq.CIOQSwitch` (Figure 1) and the
+:class:`~repro.switch.crossbar.CrossbarSwitch` (Figure 2), together with
+the bounded non-FIFO queues both are built from.
+"""
+
+from .config import SwitchConfig
+from .packet import Packet, total_value, validate_packets
+from .queue import BoundedQueue, QueueOverflowError
+from .cioq import CIOQSwitch, ScheduleError, Transfer, greedy_head_transmissions
+from .crossbar import CrossbarSwitch, InputTransfer, OutputTransfer
+from .diagram import render, render_cioq, render_crossbar
+
+__all__ = [
+    "SwitchConfig",
+    "Packet",
+    "total_value",
+    "validate_packets",
+    "BoundedQueue",
+    "QueueOverflowError",
+    "CIOQSwitch",
+    "ScheduleError",
+    "Transfer",
+    "greedy_head_transmissions",
+    "CrossbarSwitch",
+    "InputTransfer",
+    "OutputTransfer",
+    "render",
+    "render_cioq",
+    "render_crossbar",
+]

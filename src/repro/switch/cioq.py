@@ -1,0 +1,187 @@
+"""CIOQ switch state (paper Section 1.3, Figure 1).
+
+An N x N CIOQ switch has N input ports, each equipped with N virtual
+output queues (VOQs) ``Q_ij``, and N output ports, each with a single
+output queue ``Q_j``.  The switching fabric moves packets from VOQs to
+output queues in scheduling cycles; in each cycle the set of transfers
+must form a *matching*: at most one packet leaves each input port and at
+most one packet enters each output queue.
+
+:class:`CIOQSwitch` holds the queue state and applies phase actions that
+policies decide.  It performs strict feasibility validation so that a
+buggy policy cannot silently produce an inadmissible schedule — this is
+the simulator-level guarantee that all measured benefits correspond to
+schedules a real switch could execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .config import SwitchConfig
+from .packet import Packet
+from .queue import BoundedQueue
+
+
+class ScheduleError(RuntimeError):
+    """Raised when a policy proposes an inadmissible scheduling decision."""
+
+
+class Transfer:
+    """One fabric transfer decision for a CIOQ scheduling cycle.
+
+    Moves ``packet`` from VOQ ``Q_{src,dst}`` to output queue ``Q_dst``.
+    If the output queue is full, the policy must name the packet it
+    preempts (``preempt``); the switch verifies it is currently the queue
+    member named and removes it.
+    """
+
+    __slots__ = ("src", "dst", "packet", "preempt")
+
+    def __init__(
+        self, src: int, dst: int, packet: Packet, preempt: Optional[Packet] = None
+    ):
+        self.src = src
+        self.dst = dst
+        self.packet = packet
+        self.preempt = preempt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = f"Transfer({self.src}->{self.dst}, pid={self.packet.pid}"
+        if self.preempt is not None:
+            s += f", preempt pid={self.preempt.pid}"
+        return s + ")"
+
+
+class CIOQSwitch:
+    """Mutable queue state of a CIOQ switch."""
+
+    def __init__(self, config: SwitchConfig):
+        self.config = config
+        #: VOQs indexed ``voq[i][j]`` = Q_ij.
+        self.voq: List[List[BoundedQueue]] = [
+            [BoundedQueue(config.b_in) for _ in range(config.n_out)]
+            for _ in range(config.n_in)
+        ]
+        #: Output queues indexed ``out[j]`` = Q_j.
+        self.out: List[BoundedQueue] = [
+            BoundedQueue(config.b_out) for _ in range(config.n_out)
+        ]
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def n_in(self) -> int:
+        return self.config.n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.config.n_out
+
+    def voq_lengths(self) -> List[List[int]]:
+        return [[len(q) for q in row] for row in self.voq]
+
+    def out_lengths(self) -> List[int]:
+        return [len(q) for q in self.out]
+
+    def buffered_packets(self) -> List[Packet]:
+        """All packets currently residing somewhere in the switch."""
+        residents: List[Packet] = []
+        for row in self.voq:
+            for q in row:
+                residents.extend(q.packets())
+        for q in self.out:
+            residents.extend(q.packets())
+        return residents
+
+    def is_drained(self) -> bool:
+        """True when every queue in the switch is empty."""
+        return all(q.is_empty for row in self.voq for q in row) and all(
+            q.is_empty for q in self.out
+        )
+
+    # -- phase actions ------------------------------------------------------
+
+    def enqueue_arrival(self, p: Packet) -> None:
+        """Insert an accepted packet into its VOQ (policy guarantees space)."""
+        self.voq[p.src][p.dst].push(p)
+
+    def apply_transfers(self, transfers: Sequence[Transfer]) -> None:
+        """Execute one scheduling cycle's matching.
+
+        Validates the matching property (each input port releases at most
+        one packet, each output queue admits at most one packet), packet
+        membership, and output capacity (possibly after a declared
+        preemption).
+        """
+        used_in: Dict[int, int] = {}
+        used_out: Dict[int, int] = {}
+        for tr in transfers:
+            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+                raise ScheduleError(f"transfer ports out of range: {tr!r}")
+            if tr.src in used_in:
+                raise ScheduleError(f"input port {tr.src} matched twice in one cycle")
+            if tr.dst in used_out:
+                raise ScheduleError(f"output port {tr.dst} matched twice in one cycle")
+            used_in[tr.src] = 1
+            used_out[tr.dst] = 1
+
+        for tr in transfers:
+            src_q = self.voq[tr.src][tr.dst]
+            if tr.packet not in src_q:
+                raise ScheduleError(
+                    f"packet {tr.packet.pid} not in VOQ ({tr.src},{tr.dst})"
+                )
+            dst_q = self.out[tr.dst]
+            if tr.preempt is not None:
+                if tr.preempt not in dst_q:
+                    raise ScheduleError(
+                        f"preemption victim {tr.preempt.pid} not in output queue "
+                        f"{tr.dst}"
+                    )
+                dst_q.remove(tr.preempt)
+            if dst_q.is_full:
+                raise ScheduleError(
+                    f"output queue {tr.dst} full; transfer of packet "
+                    f"{tr.packet.pid} needs a preemption"
+                )
+            src_q.remove(tr.packet)
+            dst_q.push(tr.packet)
+
+    def transmit(self, selections: Dict[int, Packet]) -> List[Packet]:
+        """Execute the transmission phase: at most one packet per output.
+
+        ``selections`` maps output port -> packet to send.  Returns the
+        sent packets.
+        """
+        sent: List[Packet] = []
+        for j, p in selections.items():
+            if not (0 <= j < self.n_out):
+                raise ScheduleError(f"transmit port {j} out of range")
+            q = self.out[j]
+            if p not in q:
+                raise ScheduleError(f"packet {p.pid} not in output queue {j}")
+            q.remove(p)
+            sent.append(p)
+        return sent
+
+    # -- invariants ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        for row in self.voq:
+            for q in row:
+                q.check_invariants()
+        for q in self.out:
+            q.check_invariants()
+
+
+def greedy_head_transmissions(switch: CIOQSwitch) -> Dict[int, Packet]:
+    """Default transmission rule: send the head (max value) of every
+    non-empty output queue.  This is the transmission phase of all four
+    paper algorithms (for unit values, "head" is just any packet)."""
+    sel: Dict[int, Packet] = {}
+    for j, q in enumerate(switch.out):
+        h = q.head()
+        if h is not None:
+            sel[j] = h
+    return sel

@@ -1,0 +1,218 @@
+"""Buffered crossbar switch state (paper Section 1.3, Figure 2).
+
+The buffered crossbar model augments the CIOQ switch with one crosspoint
+queue ``C_ij`` per (input i, output j) pair, placed inside the switching
+fabric.  Each scheduling cycle splits into two subphases:
+
+* **input subphase** — from each input port ``i``, at most one packet may
+  move from some VOQ ``Q_ij`` to its crosspoint queue ``C_ij``;
+* **output subphase** — into each output queue ``Q_j``, at most one packet
+  may move from some crosspoint queue ``C_ij``.
+
+Because the two subphases impose *per-port* constraints only (no bipartite
+matching across ports is required), crossbar scheduling decisions are
+purely local — the practical appeal the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .config import SwitchConfig
+from .cioq import ScheduleError
+from .packet import Packet
+from .queue import BoundedQueue
+
+
+class InputTransfer:
+    """Input-subphase decision: move ``packet`` from VOQ Q_ij into C_ij.
+
+    ``preempt`` names the crosspoint-queue victim if C_ij is full (CPG's
+    preemption rule); it must currently reside in C_ij.
+    """
+
+    __slots__ = ("src", "dst", "packet", "preempt")
+
+    def __init__(
+        self, src: int, dst: int, packet: Packet, preempt: Optional[Packet] = None
+    ):
+        self.src = src
+        self.dst = dst
+        self.packet = packet
+        self.preempt = preempt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"InputTransfer(Q[{self.src}][{self.dst}] -> C, pid={self.packet.pid})"
+
+
+class OutputTransfer:
+    """Output-subphase decision: move ``packet`` from C_ij into Q_j."""
+
+    __slots__ = ("src", "dst", "packet", "preempt")
+
+    def __init__(
+        self, src: int, dst: int, packet: Packet, preempt: Optional[Packet] = None
+    ):
+        self.src = src
+        self.dst = dst
+        self.packet = packet
+        self.preempt = preempt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OutputTransfer(C[{self.src}][{self.dst}] -> out, pid={self.packet.pid})"
+
+
+class CrossbarSwitch:
+    """Mutable queue state of a buffered crossbar switch."""
+
+    def __init__(self, config: SwitchConfig):
+        self.config = config
+        self.voq: List[List[BoundedQueue]] = [
+            [BoundedQueue(config.b_in) for _ in range(config.n_out)]
+            for _ in range(config.n_in)
+        ]
+        #: Crosspoint queues ``cross[i][j]`` = C_ij.
+        self.cross: List[List[BoundedQueue]] = [
+            [BoundedQueue(config.b_cross) for _ in range(config.n_out)]
+            for _ in range(config.n_in)
+        ]
+        self.out: List[BoundedQueue] = [
+            BoundedQueue(config.b_out) for _ in range(config.n_out)
+        ]
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def n_in(self) -> int:
+        return self.config.n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.config.n_out
+
+    def voq_lengths(self) -> List[List[int]]:
+        return [[len(q) for q in row] for row in self.voq]
+
+    def cross_lengths(self) -> List[List[int]]:
+        return [[len(q) for q in row] for row in self.cross]
+
+    def out_lengths(self) -> List[int]:
+        return [len(q) for q in self.out]
+
+    def buffered_packets(self) -> List[Packet]:
+        residents: List[Packet] = []
+        for grid in (self.voq, self.cross):
+            for row in grid:
+                for q in row:
+                    residents.extend(q.packets())
+        for q in self.out:
+            residents.extend(q.packets())
+        return residents
+
+    def is_drained(self) -> bool:
+        return (
+            all(q.is_empty for row in self.voq for q in row)
+            and all(q.is_empty for row in self.cross for q in row)
+            and all(q.is_empty for q in self.out)
+        )
+
+    # -- phase actions ------------------------------------------------------
+
+    def enqueue_arrival(self, p: Packet) -> None:
+        self.voq[p.src][p.dst].push(p)
+
+    def apply_input_subphase(self, transfers: Sequence[InputTransfer]) -> None:
+        """Execute the input subphase: at most one transfer per input port."""
+        used_in: Dict[int, int] = {}
+        for tr in transfers:
+            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+                raise ScheduleError(f"input transfer out of range: {tr!r}")
+            if tr.src in used_in:
+                raise ScheduleError(
+                    f"input port {tr.src} released two packets in one input subphase"
+                )
+            used_in[tr.src] = 1
+
+        for tr in transfers:
+            src_q = self.voq[tr.src][tr.dst]
+            if tr.packet not in src_q:
+                raise ScheduleError(
+                    f"packet {tr.packet.pid} not in VOQ ({tr.src},{tr.dst})"
+                )
+            dst_q = self.cross[tr.src][tr.dst]
+            if tr.preempt is not None:
+                if tr.preempt not in dst_q:
+                    raise ScheduleError(
+                        f"preemption victim {tr.preempt.pid} not in crosspoint "
+                        f"queue ({tr.src},{tr.dst})"
+                    )
+                dst_q.remove(tr.preempt)
+            if dst_q.is_full:
+                raise ScheduleError(
+                    f"crosspoint queue ({tr.src},{tr.dst}) full; needs preemption"
+                )
+            src_q.remove(tr.packet)
+            dst_q.push(tr.packet)
+
+    def apply_output_subphase(self, transfers: Sequence[OutputTransfer]) -> None:
+        """Execute the output subphase: at most one transfer per output port."""
+        used_out: Dict[int, int] = {}
+        for tr in transfers:
+            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+                raise ScheduleError(f"output transfer out of range: {tr!r}")
+            if tr.dst in used_out:
+                raise ScheduleError(
+                    f"output port {tr.dst} admitted two packets in one output "
+                    f"subphase"
+                )
+            used_out[tr.dst] = 1
+
+        for tr in transfers:
+            src_q = self.cross[tr.src][tr.dst]
+            if tr.packet not in src_q:
+                raise ScheduleError(
+                    f"packet {tr.packet.pid} not in crosspoint queue "
+                    f"({tr.src},{tr.dst})"
+                )
+            dst_q = self.out[tr.dst]
+            if tr.preempt is not None:
+                if tr.preempt not in dst_q:
+                    raise ScheduleError(
+                        f"preemption victim {tr.preempt.pid} not in output queue "
+                        f"{tr.dst}"
+                    )
+                dst_q.remove(tr.preempt)
+            if dst_q.is_full:
+                raise ScheduleError(f"output queue {tr.dst} full; needs preemption")
+            src_q.remove(tr.packet)
+            dst_q.push(tr.packet)
+
+    def transmit(self, selections: Dict[int, Packet]) -> List[Packet]:
+        sent: List[Packet] = []
+        for j, p in selections.items():
+            if not (0 <= j < self.n_out):
+                raise ScheduleError(f"transmit port {j} out of range")
+            q = self.out[j]
+            if p not in q:
+                raise ScheduleError(f"packet {p.pid} not in output queue {j}")
+            q.remove(p)
+            sent.append(p)
+        return sent
+
+    def check_invariants(self) -> None:
+        for grid in (self.voq, self.cross):
+            for row in grid:
+                for q in row:
+                    q.check_invariants()
+        for q in self.out:
+            q.check_invariants()
+
+
+def greedy_head_transmissions(switch: CrossbarSwitch) -> Dict[int, Packet]:
+    """Send the head of every non-empty output queue (all paper policies)."""
+    sel: Dict[int, Packet] = {}
+    for j, q in enumerate(switch.out):
+        h = q.head()
+        if h is not None:
+            sel[j] = h
+    return sel

@@ -1,0 +1,100 @@
+"""Packet model (Section 1.3 of the paper).
+
+Every packet ``p`` in an input sequence carries four attributes: its value
+``v(p)``, its arrival time ``arr(p)`` (an integer slot index), its input
+port ``in(p)`` and its output port ``out(p)``.  All packets have the same
+size.  We additionally give every packet a unique integer id, which serves
+as the deterministic tie-breaker required by Assumption A3 ("ties are
+broken arbitrarily but consistently"): among packets of equal value, the
+one with the *smaller* id is treated as the more valuable one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class Packet:
+    """A single fixed-size packet.
+
+    Parameters
+    ----------
+    pid:
+        Unique integer identifier.  Used for deterministic tie-breaking
+        (Assumption A3) and for tracking packets through the simulator and
+        the offline optimum.
+    value:
+        The packet's value ``v(p)``; must be positive.  Unit-value
+        instances use ``value == 1.0`` for every packet.
+    arrival:
+        Arrival slot ``arr(p)`` (0-based integer).
+    src:
+        Input port ``in(p)`` (0-based; the paper uses 1-based).
+    dst:
+        Output port ``out(p)`` (0-based).
+    """
+
+    __slots__ = ("pid", "value", "arrival", "src", "dst")
+
+    def __init__(self, pid: int, value: float, arrival: int, src: int, dst: int):
+        if value <= 0:
+            raise ValueError(f"packet value must be positive, got {value!r}")
+        if arrival < 0:
+            raise ValueError(f"arrival slot must be >= 0, got {arrival!r}")
+        if src < 0 or dst < 0:
+            raise ValueError("ports must be non-negative")
+        self.pid = pid
+        self.value = float(value)
+        self.arrival = int(arrival)
+        self.src = int(src)
+        self.dst = int(dst)
+
+    # Ordering: "greater" means more valuable, with smaller pid winning ties.
+    # This is the total order used everywhere (queues, matchings, OPT).
+    def sort_key(self) -> Tuple[float, int]:
+        """Key such that sorting ascending puts the *least* valuable first."""
+        return (self.value, -self.pid)
+
+    def beats(self, other: "Packet") -> bool:
+        """True if this packet is strictly preferred over ``other``."""
+        return self.sort_key() > other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, v={self.value:g}, t={self.arrival}, "
+            f"{self.src}->{self.dst})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return self.pid == other.pid
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+
+def total_value(packets: Iterable[Packet]) -> float:
+    """Sum of packet values (the *benefit* of sending these packets)."""
+    return float(sum(p.value for p in packets))
+
+
+def validate_packets(packets: Iterable[Packet], n_in: int, n_out: int) -> List[Packet]:
+    """Validate a packet collection against switch dimensions.
+
+    Checks port ranges and pid uniqueness; returns the packets as a list
+    sorted by ``(arrival, pid)`` — the canonical arrival-event order.
+    """
+    seen = set()
+    out: List[Packet] = []
+    for p in packets:
+        if p.pid in seen:
+            raise ValueError(f"duplicate packet id {p.pid}")
+        seen.add(p.pid)
+        if not (0 <= p.src < n_in):
+            raise ValueError(f"packet {p.pid}: src {p.src} out of range [0,{n_in})")
+        if not (0 <= p.dst < n_out):
+            raise ValueError(f"packet {p.pid}: dst {p.dst} out of range [0,{n_out})")
+        out.append(p)
+    out.sort(key=lambda p: (p.arrival, p.pid))
+    return out

@@ -1,0 +1,55 @@
+"""Analysis machinery from the paper's proofs, made executable."""
+
+from .ratios import (
+    OptimumCheck,
+    cpg_alpha_given_beta,
+    verify_cpg_beta_cubic,
+    verify_cpg_optimum,
+    verify_paper_constants,
+    verify_pg_optimum,
+)
+from .invariants import (
+    CheckedCGUPolicy,
+    CheckedCIOQPolicy,
+    FaithfulnessError,
+    check_cgu_input_subphase,
+    check_cgu_output_subphase,
+    check_gm_cycle,
+    check_matching_property,
+    check_pg_cycle,
+)
+from .shadow import (
+    CGUShadowCertificate,
+    GMShadowCertificate,
+    InvariantViolation,
+    replay_cgu_shadow,
+    replay_gm_shadow,
+)
+from .shadow_weighted import PGShadowCertificate, replay_pg_shadow
+from .shadow_cpg import CPGShadowCertificate, replay_cpg_shadow
+
+__all__ = [
+    "OptimumCheck",
+    "cpg_alpha_given_beta",
+    "verify_cpg_beta_cubic",
+    "verify_cpg_optimum",
+    "verify_paper_constants",
+    "verify_pg_optimum",
+    "CheckedCGUPolicy",
+    "CheckedCIOQPolicy",
+    "FaithfulnessError",
+    "check_cgu_input_subphase",
+    "check_cgu_output_subphase",
+    "check_gm_cycle",
+    "check_matching_property",
+    "check_pg_cycle",
+    "CGUShadowCertificate",
+    "GMShadowCertificate",
+    "InvariantViolation",
+    "replay_cgu_shadow",
+    "replay_gm_shadow",
+    "PGShadowCertificate",
+    "replay_pg_shadow",
+    "CPGShadowCertificate",
+    "replay_cpg_shadow",
+]

@@ -1,0 +1,143 @@
+"""Numeric verification of the paper's analytical constants.
+
+The closed forms live in :mod:`repro.core.params`; this module verifies,
+by independent numerical optimization, that
+
+* ``beta* = 1 + sqrt(2)`` minimizes PG's ratio ``beta + 2 beta/(beta-1)``
+  and the minimum is ``3 + 2 sqrt(2)`` (Theorem 2),
+* the radical expressions of Theorem 4 — ``rho = (19 + 3 sqrt 33)^(1/3)``,
+  ``beta* = (rho^2 + rho + 4)/(3 rho)``, ``alpha* = 2/(beta*-1)^2`` —
+  jointly minimize CPG's two-parameter ratio, and the claimed closed
+  form of the minimum (~14.83) matches,
+* ``beta*`` is a root of the stationarity condition (the cubic the
+  authors solved), confirming the radicals were transcribed correctly.
+
+These checks turn the paper's "it can be verified that..." remarks into
+executable assertions (experiment T8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..core.params import (
+    cpg_optimal_params,
+    cpg_ratio,
+    pg_optimal_beta,
+    pg_optimal_ratio,
+    pg_ratio,
+)
+
+
+@dataclass
+class OptimumCheck:
+    """Comparison of an analytical optimum against a numerical one."""
+
+    analytic_params: Tuple[float, ...]
+    analytic_value: float
+    numeric_params: Tuple[float, ...]
+    numeric_value: float
+
+    @property
+    def params_error(self) -> float:
+        return max(
+            abs(a - b) for a, b in zip(self.analytic_params, self.numeric_params)
+        )
+
+    @property
+    def value_error(self) -> float:
+        return abs(self.analytic_value - self.numeric_value)
+
+    @property
+    def consistent(self) -> bool:
+        return self.params_error < 1e-5 and self.value_error < 1e-8
+
+
+def verify_pg_optimum() -> OptimumCheck:
+    """Numerically minimize PG's ratio and compare with ``1 + sqrt 2``."""
+    res = optimize.minimize_scalar(
+        pg_ratio, bounds=(1.0 + 1e-9, 50.0), method="bounded",
+        options={"xatol": 1e-12},
+    )
+    return OptimumCheck(
+        analytic_params=(pg_optimal_beta(),),
+        analytic_value=pg_optimal_ratio(),
+        numeric_params=(float(res.x),),
+        numeric_value=float(res.fun),
+    )
+
+
+def verify_cpg_optimum() -> OptimumCheck:
+    """Numerically minimize CPG's two-parameter ratio and compare with
+    the paper's radicals."""
+    beta_star, alpha_star, ratio_star = cpg_optimal_params()
+
+    def f(v: np.ndarray) -> float:
+        return cpg_ratio(float(v[0]), float(v[1]))
+
+    res = optimize.minimize(
+        f,
+        x0=np.array([2.0, 3.0]),
+        method="Nelder-Mead",
+        options={"xatol": 1e-12, "fatol": 1e-14, "maxiter": 20000},
+    )
+    return OptimumCheck(
+        analytic_params=(beta_star, alpha_star),
+        analytic_value=ratio_star,
+        numeric_params=(float(res.x[0]), float(res.x[1])),
+        numeric_value=float(res.fun),
+    )
+
+
+def cpg_alpha_given_beta(beta: float) -> float:
+    """The inner optimum: for fixed beta, the alpha minimizing the ratio.
+
+    Setting d/d alpha of ``ab + ab(beta+1)/((a-1)(b-1))`` to zero gives
+    ``alpha* = 1 + sqrt((beta+1)/(beta-1))``.
+    """
+    if beta <= 1.0:
+        raise ValueError("beta must exceed 1")
+    return 1.0 + math.sqrt((beta + 1.0) / (beta - 1.0))
+
+
+def verify_cpg_beta_cubic() -> float:
+    """Residual of the stationarity condition at the paper's beta*.
+
+    After eliminating alpha via :func:`cpg_alpha_given_beta`, the outer
+    objective ``g(beta) = cpg_ratio(beta, alpha*(beta))`` must be
+    stationary at beta*; returns |g'(beta*)| (numerical derivative),
+    which should be ~0.
+    """
+    beta_star, _, _ = cpg_optimal_params()
+
+    def g(b: float) -> float:
+        return cpg_ratio(b, cpg_alpha_given_beta(b))
+
+    h = 1e-6
+    deriv = (g(beta_star + h) - g(beta_star - h)) / (2 * h)
+    return abs(deriv)
+
+
+def verify_paper_constants() -> dict:
+    """One-call summary used by tests and the T8 bench."""
+    pg = verify_pg_optimum()
+    cpg = verify_cpg_optimum()
+    beta_star, alpha_star, ratio_star = cpg_optimal_params()
+    return {
+        "pg_beta_star": pg.analytic_params[0],
+        "pg_ratio_star": pg.analytic_value,
+        "pg_consistent": pg.consistent,
+        "cpg_beta_star": beta_star,
+        "cpg_alpha_star": alpha_star,
+        "cpg_ratio_star": ratio_star,
+        "cpg_consistent": cpg.consistent,
+        "cpg_alpha_formula_matches": abs(
+            cpg_alpha_given_beta(beta_star) - alpha_star
+        ),
+        "cpg_cubic_residual": verify_cpg_beta_cubic(),
+    }

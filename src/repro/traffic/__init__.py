@@ -1,0 +1,68 @@
+"""Traffic substrate: traces, value models and arrival generators."""
+
+from .trace import Trace
+from .values import (
+    ValueModel,
+    exponential_values,
+    geometric_class_values,
+    pareto_values,
+    two_value,
+    uniform_values,
+    unit_values,
+)
+from .base import TrafficModel
+from .transforms import (
+    concat,
+    map_values,
+    merge,
+    restrict_ports,
+    scale_values,
+    time_dilate,
+)
+from .bernoulli import BernoulliTraffic
+from .bursty import BurstyTraffic
+from .hotspot import DiagonalTraffic, HotspotTraffic
+from .adversarial import (
+    AdaptiveAdversary,
+    FullQueuePressureAdversary,
+    PreemptionBaitAdversary,
+    RotatingBurstAdversary,
+    SingleOutputOverloadAdversary,
+    beta_admission_gadget,
+    burst_reject_gadget,
+    escalating_values_gadget,
+    generate_adaptive_trace,
+    two_value_contention_gadget,
+)
+
+__all__ = [
+    "Trace",
+    "ValueModel",
+    "exponential_values",
+    "geometric_class_values",
+    "pareto_values",
+    "two_value",
+    "uniform_values",
+    "unit_values",
+    "TrafficModel",
+    "concat",
+    "map_values",
+    "merge",
+    "restrict_ports",
+    "scale_values",
+    "time_dilate",
+    "BernoulliTraffic",
+    "BurstyTraffic",
+    "DiagonalTraffic",
+    "HotspotTraffic",
+    "AdaptiveAdversary",
+    "FullQueuePressureAdversary",
+    "PreemptionBaitAdversary",
+    "RotatingBurstAdversary",
+    "SingleOutputOverloadAdversary",
+    "beta_admission_gadget",
+    "burst_reject_gadget",
+    "escalating_values_gadget",
+    "generate_adaptive_trace",
+    "two_value_contention_gadget",
+]

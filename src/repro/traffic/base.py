@@ -1,0 +1,69 @@
+"""Traffic model interface.
+
+A :class:`TrafficModel` turns a seeded RNG and a slot count into a
+:class:`~repro.traffic.trace.Trace`.  Models are deterministic given the
+seed, so every experiment is replayable.
+
+The common machinery here assigns packet ids in arrival order (the order
+arrival events occur within a slot is the id order, matching the paper's
+convention that all events happen at distinct fractional times).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+from ..switch.packet import Packet
+from .trace import Trace
+from .values import ValueModel, unit_values
+
+
+class TrafficModel(ABC):
+    """Generates traces for an ``n_in x n_out`` switch."""
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        value_model: Optional[ValueModel] = None,
+        name: str = "traffic",
+    ):
+        if n_in < 1 or n_out < 1:
+            raise ValueError("traffic model needs at least one port per side")
+        self.n_in = n_in
+        self.n_out = n_out
+        self.value_model = value_model if value_model is not None else unit_values()
+        self.name = name
+
+    @abstractmethod
+    def arrivals_for_slot(
+        self, slot: int, rng: np.random.Generator
+    ) -> List[tuple]:
+        """Return the slot's arrivals as (src, dst) pairs."""
+
+    def generate(self, n_slots: int, seed: int = 0) -> Trace:
+        """Generate a trace of ``n_slots`` arrival slots."""
+        rng = np.random.default_rng(seed)
+        packets: List[Packet] = []
+        pid = 0
+        for t in range(n_slots):
+            for src, dst in self.arrivals_for_slot(t, rng):
+                packets.append(
+                    Packet(
+                        pid=pid,
+                        value=self.value_model(rng),
+                        arrival=t,
+                        src=src,
+                        dst=dst,
+                    )
+                )
+                pid += 1
+        return Trace(
+            packets,
+            self.n_in,
+            self.n_out,
+            name=f"{self.name}/{self.value_model.name}/seed{seed}",
+        )

@@ -1,0 +1,127 @@
+"""Trace container: a concrete input sequence σ.
+
+A :class:`Trace` is a finite arrival sequence — the σ of the competitive
+framework.  It stores every packet with its arrival slot and exposes the
+per-slot arrival lists the simulation engine consumes, summary statistics
+for reports, and JSON (de)serialization so that interesting instances
+(e.g. adversarial gadgets or ratio outliers found in sweeps) can be saved
+and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from ..switch.packet import Packet, total_value, validate_packets
+
+
+class Trace:
+    """An input sequence of packets for an ``n_in x n_out`` switch."""
+
+    def __init__(
+        self,
+        packets: Iterable[Packet],
+        n_in: int,
+        n_out: int,
+        name: str = "trace",
+    ):
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.name = name
+        self.packets: List[Packet] = validate_packets(packets, self.n_in, self.n_out)
+        self.n_slots = (self.packets[-1].arrival + 1) if self.packets else 0
+        self._by_slot: List[List[Packet]] = [[] for _ in range(self.n_slots)]
+        for p in self.packets:
+            self._by_slot[p.arrival].append(p)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def arrivals(self, slot: int) -> Sequence[Packet]:
+        """Packets arriving in ``slot`` (empty past the last arrival)."""
+        if 0 <= slot < self.n_slots:
+            return self._by_slot[slot]
+        return ()
+
+    @property
+    def total_value(self) -> float:
+        return total_value(self.packets)
+
+    @property
+    def is_unit_valued(self) -> bool:
+        return all(p.value == 1.0 for p in self.packets)
+
+    def max_value(self) -> float:
+        return max((p.value for p in self.packets), default=0.0)
+
+    def min_value(self) -> float:
+        return min((p.value for p in self.packets), default=0.0)
+
+    def load_matrix(self) -> List[List[int]]:
+        """Packet counts per (input, output) pair."""
+        m = [[0] * self.n_out for _ in range(self.n_in)]
+        for p in self.packets:
+            m[p.src][p.dst] += 1
+        return m
+
+    def offered_load(self) -> float:
+        """Mean arrivals per output port per slot (1.0 = line rate)."""
+        if self.n_slots == 0:
+            return 0.0
+        return len(self.packets) / (self.n_slots * self.n_out)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary statistics for reports."""
+        return {
+            "name": self.name,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "n_slots": self.n_slots,
+            "n_packets": len(self.packets),
+            "total_value": self.total_value,
+            "offered_load": round(self.offered_load(), 4),
+            "unit_valued": self.is_unit_valued,
+            "value_range": (self.min_value(), self.max_value()),
+        }
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "packets": [
+                [p.pid, p.value, p.arrival, p.src, p.dst] for p in self.packets
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        payload = json.loads(text)
+        packets = [
+            Packet(pid=int(r[0]), value=float(r[1]), arrival=int(r[2]),
+                   src=int(r[3]), dst=int(r[4]))
+            for r in payload["packets"]
+        ]
+        return cls(packets, payload["n_in"], payload["n_out"],
+                   name=payload.get("name", "trace"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name!r}, {len(self.packets)} packets, "
+            f"{self.n_in}x{self.n_out}, {self.n_slots} slots)"
+        )

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.switch.config import SwitchConfig
+from repro.switch.packet import Packet
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.trace import Trace
+from repro.traffic.values import two_value, uniform_values, unit_values
+
+
+@pytest.fixture
+def small_config() -> SwitchConfig:
+    """A 3x3 switch with small buffers, speedup 1."""
+    return SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
+
+
+@pytest.fixture
+def speedy_config() -> SwitchConfig:
+    """A 3x3 switch with speedup 2."""
+    return SwitchConfig.square(3, speedup=2, b_in=3, b_out=3, b_cross=2)
+
+
+@pytest.fixture
+def tiny_config() -> SwitchConfig:
+    """A 2x2 switch with unit buffers (brute-force friendly)."""
+    return SwitchConfig.square(2, speedup=1, b_in=1, b_out=1, b_cross=1)
+
+
+@pytest.fixture
+def unit_trace(small_config) -> Trace:
+    """A deterministic unit-value trace for the small config."""
+    return BernoulliTraffic(3, 3, load=1.0, value_model=unit_values()).generate(
+        20, seed=42
+    )
+
+
+@pytest.fixture
+def weighted_trace(small_config) -> Trace:
+    """A deterministic weighted trace for the small config."""
+    return BernoulliTraffic(
+        3, 3, load=1.2, value_model=uniform_values(1, 50)
+    ).generate(20, seed=42)
+
+
+@pytest.fixture
+def two_value_trace() -> Trace:
+    return BernoulliTraffic(
+        3, 3, load=1.3, value_model=two_value(alpha=10.0, p_high=0.3)
+    ).generate(20, seed=7)
+
+
+def make_packets(spec):
+    """Build packets from (value, arrival, src, dst) tuples, pids 0..n-1."""
+    return [
+        Packet(pid, value, arrival, src, dst)
+        for pid, (value, arrival, src, dst) in enumerate(spec)
+    ]
+
+
+@pytest.fixture
+def packets_factory():
+    return make_packets
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

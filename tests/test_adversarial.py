@@ -1,0 +1,126 @@
+"""Tests for adversarial gadgets and adaptive adversaries."""
+
+import pytest
+
+from repro.analysis.ratio import measure_cioq_ratio
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.core.params import pg_optimal_beta, pg_optimal_ratio
+from repro.switch.config import SwitchConfig
+from repro.traffic.adversarial import (
+    FullQueuePressureAdversary,
+    PreemptionBaitAdversary,
+    RotatingBurstAdversary,
+    SingleOutputOverloadAdversary,
+    beta_admission_gadget,
+    burst_reject_gadget,
+    escalating_values_gadget,
+    generate_adaptive_trace,
+    two_value_contention_gadget,
+)
+
+
+class TestGadgetStructure:
+    def test_burst_reject_dimensions(self):
+        t = burst_reject_gadget(n=4, b_in=2, n_rounds=3)
+        assert t.n_in == 4 and t.n_out == 4
+        assert len(t) > 0
+        assert t.is_unit_valued
+
+    def test_escalating_values_grow_geometrically(self):
+        beta = 2.0
+        t = escalating_values_gadget(beta, chain_length=4, n_chains=1)
+        vals = sorted(p.value for p in t.packets)
+        for a, b in zip(vals, vals[1:]):
+            assert b / a == pytest.approx(beta + 0.05)
+
+    def test_escalating_validation(self):
+        with pytest.raises(ValueError):
+            escalating_values_gadget(0.5)
+
+    def test_two_value_support(self):
+        t = two_value_contention_gadget(alpha=10.0, n=2, b_out=2, n_rounds=2)
+        assert {p.value for p in t.packets} == {1.0, 10.0}
+
+    def test_beta_admission_values(self):
+        beta = pg_optimal_beta()
+        t = beta_admission_gadget(beta, n=2, b_out=4)
+        vals = {round(p.value, 3) for p in t.packets}
+        assert 1.0 in vals
+        assert round(beta - 0.05, 3) in vals
+
+    def test_beta_admission_validation(self):
+        with pytest.raises(ValueError):
+            beta_admission_gadget(0.9)
+        with pytest.raises(ValueError):
+            beta_admission_gadget(1.0, eps=0.5)
+
+
+class TestAdaptiveDriver:
+    def test_trace_is_replayable(self):
+        """Running GM on the recorded adaptive trace reproduces exactly
+        the state evolution the adversary saw (determinism)."""
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        t1 = generate_adaptive_trace(
+            GMPolicy, cfg, RotatingBurstAdversary(), n_slots=12
+        )
+        t2 = generate_adaptive_trace(
+            GMPolicy, cfg, RotatingBurstAdversary(), n_slots=12
+        )
+        assert [(p.src, p.dst, p.arrival) for p in t1.packets] == [
+            (p.src, p.dst, p.arrival) for p in t2.packets
+        ]
+
+    def test_pressure_adversary_forces_rejections(self):
+        from repro.simulation.engine import run_cioq
+
+        cfg = SwitchConfig.square(3, speedup=1, b_in=1, b_out=1)
+        trace = generate_adaptive_trace(
+            GMPolicy, cfg, FullQueuePressureAdversary(), n_slots=15
+        )
+        res = run_cioq(GMPolicy(), cfg, trace)
+        assert res.n_rejected > 0
+
+    def test_preemption_bait_values_escalate(self):
+        cfg = SwitchConfig.square(2, speedup=1, b_in=1, b_out=1)
+        trace = generate_adaptive_trace(
+            lambda: PGPolicy(beta=1.5),
+            cfg,
+            PreemptionBaitAdversary(beta=1.5),
+            n_slots=10,
+        )
+        assert trace.max_value() > 1.0
+
+
+class TestSeparation:
+    """The adversarial instances must actually separate ONL from OPT
+    (ratios well above random traffic) while staying within bounds."""
+
+    def test_single_output_overload_separates_gm(self):
+        cfg = SwitchConfig.square(6, speedup=1, b_in=3, b_out=3)
+        trace = generate_adaptive_trace(
+            GMPolicy, cfg, SingleOutputOverloadAdversary(), n_slots=18
+        )
+        m = measure_cioq_ratio(GMPolicy(), trace, cfg, bound=3.0)
+        assert m.ratio > 1.3
+        assert m.within_bound
+
+    def test_rotating_burst_sustains_gap(self):
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = generate_adaptive_trace(
+            GMPolicy, cfg, RotatingBurstAdversary(), n_slots=36
+        )
+        m = measure_cioq_ratio(GMPolicy(), trace, cfg, bound=3.0)
+        assert m.ratio > 1.15
+        assert m.within_bound
+
+    def test_beta_admission_separates_pg(self):
+        beta = pg_optimal_beta()
+        n, b = 2, 4
+        cfg = SwitchConfig.square(n, speedup=n, b_in=b, b_out=b)
+        trace = beta_admission_gadget(beta, n=n, b_out=b, rate=3, n_rounds=2)
+        m = measure_cioq_ratio(
+            PGPolicy(beta=beta), trace, cfg, bound=pg_optimal_ratio()
+        )
+        assert m.ratio > 1.15
+        assert m.within_bound

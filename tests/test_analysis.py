@@ -1,0 +1,174 @@
+"""Tests for the analysis harness: ratios, sweeps, tables, efficiency."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    compare_unit_matching_cost,
+    compare_weighted_matching_cost,
+    efficiency_scaling_table,
+)
+from repro.analysis.ratio import (
+    RatioMeasurement,
+    measure_cioq_ratio,
+    measure_crossbar_ratio,
+    measure_many,
+    summarize,
+    worst,
+)
+from repro.analysis.report import format_table, markdown_table
+from repro.analysis.sweep import (
+    beta_sweep_pg,
+    buffer_sweep_crossbar,
+    grid,
+    speedup_sweep,
+    threshold_sweep_cpg,
+)
+from repro.core.cgu import CGUPolicy
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.values import two_value
+
+
+class TestRatioMeasurement:
+    def test_cioq_measurement_fields(self, small_config, unit_trace):
+        m = measure_cioq_ratio(GMPolicy(), unit_trace, small_config, bound=3.0)
+        assert m.model == "cioq"
+        assert m.ratio >= 1.0
+        assert m.within_bound
+        assert m.n_packets == len(unit_trace)
+
+    def test_crossbar_measurement(self, small_config, unit_trace):
+        m = measure_crossbar_ratio(
+            CGUPolicy(), unit_trace, small_config, bound=3.0
+        )
+        assert m.model == "crossbar"
+        assert m.within_bound
+
+    def test_ratio_edge_cases(self):
+        z = RatioMeasurement("p", "t", "cioq", 0.0, 0.0, 0)
+        assert z.ratio == 1.0
+        inf = RatioMeasurement("p", "t", "cioq", 0.0, 5.0, 5)
+        assert inf.ratio == float("inf")
+        assert not inf.within_bound or inf.bound is None
+
+    def test_as_row_keys(self, small_config, unit_trace):
+        row = measure_cioq_ratio(GMPolicy(), unit_trace, small_config).as_row()
+        assert {"policy", "trace", "onl", "opt", "ratio", "bound", "ok"} <= set(
+            row
+        )
+
+    def test_measure_many_and_summary(self, small_config):
+        traces = [
+            BernoulliTraffic(3, 3, load=1.0).generate(8, seed=s)
+            for s in range(3)
+        ]
+        ms = measure_many(GMPolicy, traces, small_config, bound=3.0)
+        assert len(ms) == 3
+        s = summarize(ms)
+        assert s["n"] == 3
+        assert s["all_within_bound"]
+        assert s["max_ratio"] >= s["mean_ratio"] >= 1.0
+        assert worst(ms).ratio == s["max_ratio"]
+
+    def test_worst_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst([])
+
+
+class TestSweeps:
+    def test_grid(self):
+        rows = grid(a=[1, 2], b=["x"])
+        assert rows == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_beta_sweep_rows(self, small_config):
+        trace = BernoulliTraffic(
+            3, 3, load=1.3, value_model=two_value(8, 0.3)
+        ).generate(12, seed=1)
+        rows = beta_sweep_pg(trace, small_config, [1.5, 2.414])
+        assert len(rows) == 2
+        assert all(r["ratio"] >= 1.0 for r in rows)
+        # OPT column identical across betas (computed once, beta-free).
+        assert len({r["opt_benefit"] for r in rows}) == 1
+
+    def test_threshold_sweep_cpg(self, small_config):
+        trace = BernoulliTraffic(
+            3, 3, load=1.3, value_model=two_value(8, 0.3)
+        ).generate(10, seed=1)
+        rows = threshold_sweep_cpg(trace, small_config, [1.5, 2.0], [2.0])
+        assert len(rows) == 2
+        assert all(r["ratio"] >= 1.0 for r in rows)
+
+    def test_speedup_sweep(self):
+        base = SwitchConfig.square(3, b_in=2, b_out=2)
+        rows = speedup_sweep(
+            {"GM": GMPolicy},
+            BernoulliTraffic(3, 3, load=1.2),
+            n_slots=10,
+            speedups=[1, 2],
+            base_config=base,
+            seeds=(0,),
+        )
+        assert len(rows) == 2
+        assert all("GM" in r and "OPT" in r for r in rows)
+        assert all(r["GM"] <= r["OPT"] + 1e-6 for r in rows)
+
+    def test_buffer_sweep(self):
+        base = SwitchConfig.square(3, b_in=2, b_out=2, b_cross=1)
+        rows = buffer_sweep_crossbar(
+            CGUPolicy,
+            BernoulliTraffic(3, 3, load=1.2),
+            n_slots=8,
+            b_cross_values=[1, 2],
+            base_config=base,
+            seeds=(0,),
+        )
+        assert len(rows) == 2
+        assert all(r["ratio"] >= 1.0 for r in rows)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        txt = format_table(rows, title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_bools_and_none(self):
+        txt = format_table([{"ok": True, "x": None}, {"ok": False, "x": 1.5}])
+        assert "yes" in txt and "NO" in txt and "-" in txt
+
+    def test_markdown_table(self):
+        md = markdown_table([{"a": 1.23456, "b": "q"}])
+        assert md.startswith("| a | b |")
+        assert "---" in md
+
+    def test_column_subset(self):
+        txt = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in txt.splitlines()[0]
+
+
+class TestEfficiency:
+    def test_unit_comparison_fields(self):
+        row = compare_unit_matching_cost(8, 0.5, trials=5, seed=1)
+        assert row["n"] == 8
+        assert row["greedy_ops"] > 0
+        assert row["maxmatch_ops"] >= row["greedy_ops"]
+        assert 0.5 <= row["size_ratio"] <= 1.0
+
+    def test_weighted_comparison_fields(self):
+        row = compare_weighted_matching_cost(6, 0.5, trials=3, seed=1)
+        assert row["hungarian_ops"] > row["greedy_ops"]
+        assert 0.5 <= row["weight_ratio"] <= 1.0 + 1e-9
+
+    def test_scaling_table(self):
+        rows = efficiency_scaling_table([4, 8], trials=3)
+        assert [r["n"] for r in rows] == [4, 8]
+        # Cost gap grows with switch size.
+        assert rows[1]["maxmatch_ops"] > rows[0]["maxmatch_ops"]

@@ -1,0 +1,64 @@
+"""Tests for per-packet decomposition of OPT solutions."""
+
+import pytest
+
+from repro.offline.decompose import decompose_cioq_opt
+from repro.offline.opt import cioq_opt
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_itineraries_are_feasible(seed, small_config):
+    trace = BernoulliTraffic(3, 3, load=1.2).generate(10, seed=seed)
+    res = cioq_opt(trace, small_config, extract_schedule=True)
+    sched = decompose_cioq_opt(trace, res)
+    sched.validate(trace)
+    assert len(sched.itineraries) == res.n_delivered
+
+
+def test_itinerary_fields_match_packets(small_config):
+    trace = BernoulliTraffic(3, 3, load=1.0).generate(8, seed=9)
+    res = cioq_opt(trace, small_config, extract_schedule=True)
+    sched = decompose_cioq_opt(trace, res)
+    by_pid = {p.pid: p for p in trace.packets}
+    for pid, it in sched.itineraries.items():
+        p = by_pid[pid]
+        assert (it.src, it.dst, it.arrival) == (p.src, p.dst, p.arrival)
+        assert it.depart[0] >= p.arrival
+        assert it.transmit_slot >= it.depart[0]
+
+
+def test_departures_in_cycle_lookup(small_config):
+    trace = BernoulliTraffic(3, 3, load=1.0).generate(8, seed=9)
+    res = cioq_opt(trace, small_config, extract_schedule=True)
+    sched = decompose_cioq_opt(trace, res)
+    total = sum(
+        len(sched.departures_in_cycle(t, s))
+        for t in range(res.transmissions[-1][0] + 1 if res.transmissions else 0)
+        for s in range(small_config.speedup)
+    )
+    assert total == len(sched.itineraries)
+
+
+def test_matching_property_of_departures(small_config):
+    """Within each cycle, OPT's departures form a matching."""
+    trace = BernoulliTraffic(3, 3, load=1.4).generate(12, seed=4)
+    res = cioq_opt(trace, small_config, extract_schedule=True)
+    sched = decompose_cioq_opt(trace, res)
+    horizon = max((it.transmit_slot for it in sched.itineraries.values()),
+                  default=0)
+    for t in range(horizon + 1):
+        for s in range(small_config.speedup):
+            deps = sched.departures_in_cycle(t, s)
+            srcs = [d.src for d in deps]
+            dsts = [d.dst for d in deps]
+            assert len(set(srcs)) == len(srcs)
+            assert len(set(dsts)) == len(dsts)
+
+
+def test_benefit_carried_through(small_config):
+    trace = BernoulliTraffic(3, 3, load=1.0).generate(6, seed=0)
+    res = cioq_opt(trace, small_config, extract_schedule=True)
+    sched = decompose_cioq_opt(trace, res)
+    assert sched.benefit == res.benefit

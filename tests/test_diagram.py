@@ -1,0 +1,68 @@
+"""Tests for the Figure 1 / Figure 2 topology renderers."""
+
+import pytest
+
+from repro.switch.cioq import CIOQSwitch
+from repro.switch.config import SwitchConfig
+from repro.switch.crossbar import CrossbarSwitch
+from repro.switch.diagram import render, render_cioq, render_crossbar
+from repro.switch.packet import Packet
+
+
+@pytest.fixture
+def config():
+    return SwitchConfig.square(3, b_in=3, b_out=3, b_cross=1)
+
+
+class TestCIOQFigure:
+    def test_contains_all_voqs_and_outputs(self, config):
+        art = render_cioq(CIOQSwitch(config))
+        for i in range(3):
+            for j in range(3):
+                assert f"Q[{i}][{j}]" in art
+        assert "fabric" in art
+        for j in range(3):
+            assert f"out {j}" in art
+
+    def test_occupancy_cells_reflect_queue_state(self, config):
+        s = CIOQSwitch(config)
+        s.enqueue_arrival(Packet(0, 1.0, 0, 1, 2))
+        s.enqueue_arrival(Packet(1, 1.0, 0, 1, 2))
+        art = render_cioq(s)
+        assert "[##.]" in art  # 2 of 3 slots used in Q[1][2]
+
+    def test_empty_queue_rendering(self, config):
+        art = render_cioq(CIOQSwitch(config))
+        assert "[...]" in art
+
+    def test_title_and_dims(self, config):
+        art = render_cioq(CIOQSwitch(config), title="My switch")
+        assert "My switch" in art
+        assert "N_in=3" in art
+
+
+class TestCrossbarFigure:
+    def test_contains_crosspoint_grid(self, config):
+        art = render_crossbar(CrossbarSwitch(config))
+        for i in range(3):
+            assert f"row {i}" in art
+            assert f"in {i}" in art
+        for j in range(3):
+            assert f"col {j}" in art
+            assert f"out {j}" in art
+
+    def test_crosspoint_occupancy(self, config):
+        s = CrossbarSwitch(config)
+        s.cross[1][1].push(Packet(0, 1.0, 0, 1, 1))
+        art = render_crossbar(s)
+        assert "[#]" in art
+
+
+class TestDispatch:
+    def test_render_dispatches_by_type(self, config):
+        assert "fabric" in render(CIOQSwitch(config))
+        assert "col 0" in render(CrossbarSwitch(config))
+
+    def test_render_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            render(object())

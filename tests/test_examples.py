@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _run_example(path, capsys):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = mod
+    try:
+        spec.loader.exec_module(mod)
+        mod.main()
+    finally:
+        sys.modules.pop(path.stem, None)
+    return capsys.readouterr().out
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_and_prints(path, capsys):
+    out = _run_example(path, capsys)
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_reports_all_four_algorithms(capsys):
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    out = _run_example(path, capsys)
+    for name in ("GM", "PG", "CGU", "CPG"):
+        assert name in out

@@ -1,0 +1,121 @@
+"""Tests for the FIFO-discipline ablation policies."""
+
+import pytest
+
+from repro.core.pg import PGPolicy
+from repro.offline.opt import cioq_opt
+from repro.scheduling.fifo import (
+    FifoCIOQPolicy,
+    FifoCrossbarPolicy,
+    head_of_line,
+)
+from repro.simulation.engine import run_cioq, run_crossbar
+from repro.switch.cioq import CIOQSwitch
+from repro.switch.config import SwitchConfig
+from repro.switch.packet import Packet
+from repro.switch.queue import BoundedQueue
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.trace import Trace
+from repro.traffic.values import two_value, uniform_values
+
+
+def pk(pid, src, dst, value=1.0, arrival=0):
+    return Packet(pid, value, arrival, src, dst)
+
+
+class TestHeadOfLine:
+    def test_earliest_pid_wins(self):
+        q = BoundedQueue(3)
+        q.push(pk(5, 0, 0, 9.0))
+        q.push(pk(2, 0, 0, 1.0))
+        q.push(pk(7, 0, 0, 5.0))
+        h = head_of_line(q)
+        assert h.pid == 2  # earliest arrival, NOT the most valuable
+
+    def test_empty(self):
+        assert head_of_line(BoundedQueue(2)) is None
+
+
+class TestFifoCIOQ:
+    def test_transfers_head_of_line_not_max(self):
+        config = SwitchConfig.square(2, b_in=3, b_out=3)
+        s = CIOQSwitch(config)
+        s.enqueue_arrival(pk(0, 0, 0, 1.0))   # arrived first, cheap
+        s.enqueue_arrival(pk(1, 0, 0, 50.0))  # arrived later, valuable
+        transfers = FifoCIOQPolicy().schedule(s, 0, 0)
+        assert transfers[0].packet.pid == 0
+
+    def test_transmits_head_of_line(self):
+        config = SwitchConfig.square(2, b_in=3, b_out=3)
+        trace = Trace([pk(0, 0, 0, 1.0), pk(1, 1, 0, 50.0)], 2, 2)
+        res = run_cioq(FifoCIOQPolicy(), config, trace, record=True)
+        # Both eventually sent; the later-arriving valuable packet waits.
+        assert res.n_sent == 2
+
+    def test_pushout_admission(self):
+        config = SwitchConfig.square(2, b_in=1, b_out=1)
+        policy = FifoCIOQPolicy()
+        s = CIOQSwitch(config)
+        s.enqueue_arrival(pk(0, 0, 0, 2.0))
+        d = policy.on_arrival(s, pk(1, 0, 0, 5.0))
+        assert d.accept and d.preempt.pid == 0
+        d2 = policy.on_arrival(s, pk(2, 0, 0, 2.0))
+        assert not d2.accept
+
+    def test_conservation(self):
+        config = SwitchConfig.square(3, speedup=2, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.5, value_model=uniform_values(1, 50)
+        ).generate(20, seed=3)
+        res = run_cioq(FifoCIOQPolicy(), config, trace)
+        res.check_conservation()
+
+    def test_value_ordering_beats_fifo_under_skew(self):
+        """The paper's non-FIFO PG extracts more value than the FIFO
+        discipline under strong value skew and contention."""
+        config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        total_pg = total_fifo = 0.0
+        for seed in range(4):
+            trace = BernoulliTraffic(
+                3, 3, load=1.8, value_model=two_value(50, 0.15)
+            ).generate(25, seed=seed)
+            total_pg += run_cioq(PGPolicy(), config, trace).benefit
+            total_fifo += run_cioq(FifoCIOQPolicy(), config, trace).benefit
+        assert total_pg > total_fifo
+
+    def test_fifo_still_below_opt(self):
+        config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.4, value_model=uniform_values(1, 20)
+        ).generate(12, seed=5)
+        res = run_cioq(FifoCIOQPolicy(), config, trace)
+        opt = cioq_opt(trace, config)
+        assert res.benefit <= opt.benefit + 1e-6
+
+
+class TestFifoCrossbar:
+    def test_conservation(self):
+        config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
+        trace = BernoulliTraffic(
+            3, 3, load=1.5, value_model=uniform_values(1, 50)
+        ).generate(15, seed=1)
+        res = run_crossbar(FifoCrossbarPolicy(), config, trace)
+        res.check_conservation()
+
+    def test_moves_head_of_line_through_fabric(self):
+        from repro.switch.crossbar import CrossbarSwitch
+
+        config = SwitchConfig.square(2, b_in=3, b_out=3, b_cross=1)
+        s = CrossbarSwitch(config)
+        s.enqueue_arrival(pk(0, 0, 0, 1.0))
+        s.enqueue_arrival(pk(1, 0, 0, 9.0))
+        policy = FifoCrossbarPolicy()
+        transfers = policy.input_subphase(s, 0, 0)
+        assert transfers[0].packet.pid == 0
+
+    def test_subphase_port_constraints(self):
+        config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
+        trace = BernoulliTraffic(3, 3, load=2.0).generate(10, seed=7)
+        # The engine validates one-per-port; a clean run is the assertion.
+        res = run_crossbar(FifoCrossbarPolicy(), config, trace)
+        res.check_conservation()

@@ -1,0 +1,163 @@
+"""Integration tests: the paper's theorems checked end-to-end.
+
+Each theorem test runs its algorithm against the exact offline optimum
+on a battery of instances (several traffic families and switch shapes)
+and asserts the measured ratio never exceeds the proven bound.  These
+are the executable versions of Theorems 1-4.
+"""
+
+import pytest
+
+from repro.analysis.ratio import measure_cioq_ratio, measure_crossbar_ratio
+from repro.core.cgu import CGUPolicy
+from repro.core.cpg import CPGPolicy
+from repro.core.gm import GMPolicy
+from repro.core.params import (
+    GM_RATIO,
+    CGU_RATIO,
+    cpg_optimal_ratio,
+    pg_optimal_ratio,
+)
+from repro.core.pg import PGPolicy
+from repro.scheduling.baselines import MaxMatchPolicy, MaxWeightMatchPolicy
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.hotspot import DiagonalTraffic, HotspotTraffic
+from repro.traffic.values import pareto_values, two_value, uniform_values
+
+
+def unit_batteries():
+    """(config, trace) pairs exercising Theorems 1 and 3."""
+    out = []
+    for cfg, model, slots, seed in [
+        (SwitchConfig.square(2, speedup=1, b_in=1, b_out=1),
+         BernoulliTraffic(2, 2, load=1.5), 12, 0),
+        (SwitchConfig.square(3, speedup=1, b_in=2, b_out=2),
+         HotspotTraffic(3, 3, load=1.3, hot_fraction=0.7), 12, 1),
+        (SwitchConfig.square(3, speedup=2, b_in=2, b_out=2),
+         BurstyTraffic(3, 3, burst_load=2.5), 12, 2),
+        (SwitchConfig.square(4, speedup=1, b_in=1, b_out=2),
+         DiagonalTraffic(4, 4, load=1.2), 10, 3),
+        (SwitchConfig(n_in=3, n_out=2, speedup=1, b_in=2, b_out=2),
+         BernoulliTraffic(3, 2, load=1.2), 10, 4),  # N x M remark (Sec. 4)
+    ]:
+        out.append((cfg, model.generate(slots, seed=seed)))
+    return out
+
+
+def weighted_batteries():
+    out = []
+    for cfg, model, slots, seed in [
+        (SwitchConfig.square(2, speedup=1, b_in=1, b_out=1),
+         BernoulliTraffic(2, 2, load=1.8,
+                          value_model=uniform_values(1, 100)), 12, 0),
+        (SwitchConfig.square(3, speedup=1, b_in=2, b_out=2),
+         BernoulliTraffic(3, 3, load=1.5,
+                          value_model=two_value(20, 0.2)), 12, 1),
+        (SwitchConfig.square(3, speedup=2, b_in=2, b_out=2),
+         HotspotTraffic(3, 3, load=1.5, hot_fraction=0.7,
+                        value_model=pareto_values(1.3)), 12, 2),
+    ]:
+        out.append((cfg, model.generate(slots, seed=seed)))
+    return out
+
+
+class TestTheorem1GM:
+    @pytest.mark.parametrize("cfg,trace", unit_batteries())
+    def test_gm_within_3(self, cfg, trace):
+        m = measure_cioq_ratio(GMPolicy(), trace, cfg, bound=GM_RATIO)
+        assert m.within_bound, f"GM ratio {m.ratio} > 3 on {trace.name}"
+
+    @pytest.mark.parametrize("cfg,trace", unit_batteries())
+    def test_maxmatch_baseline_also_within_3(self, cfg, trace):
+        m = measure_cioq_ratio(MaxMatchPolicy(), trace, cfg, bound=GM_RATIO)
+        assert m.within_bound
+
+
+class TestTheorem2PG:
+    @pytest.mark.parametrize("cfg,trace", weighted_batteries())
+    def test_pg_within_5_83(self, cfg, trace):
+        m = measure_cioq_ratio(
+            PGPolicy(), trace, cfg, bound=pg_optimal_ratio()
+        )
+        assert m.within_bound, f"PG ratio {m.ratio} on {trace.name}"
+
+    @pytest.mark.parametrize("beta", [1.3, 2.0, 4.0])
+    def test_pg_off_optimal_beta_within_formula_bound(self, beta):
+        from repro.core.params import pg_ratio
+
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.6, value_model=uniform_values(1, 50)
+        ).generate(12, seed=9)
+        m = measure_cioq_ratio(PGPolicy(beta=beta), trace, cfg,
+                               bound=pg_ratio(beta))
+        assert m.within_bound
+
+    @pytest.mark.parametrize("cfg,trace", weighted_batteries())
+    def test_maxweight_baseline_reasonable(self, cfg, trace):
+        """The maximum-weight baseline (prior work) also stays within
+        its 6-competitive bound."""
+        m = measure_cioq_ratio(MaxWeightMatchPolicy(), trace, cfg, bound=6.0)
+        assert m.within_bound
+
+
+class TestTheorem3CGU:
+    @pytest.mark.parametrize("cfg,trace", unit_batteries())
+    def test_cgu_within_3(self, cfg, trace):
+        m = measure_crossbar_ratio(CGUPolicy(), trace, cfg, bound=CGU_RATIO)
+        assert m.within_bound, f"CGU ratio {m.ratio} on {trace.name}"
+
+    def test_cgu_beats_previous_bound_of_4(self):
+        """The paper's headline: CGU is 3- (not just 4-) competitive.
+        Empirically its worst observed ratio sits far below even 3."""
+        worst = 0.0
+        for cfg, trace in unit_batteries():
+            m = measure_crossbar_ratio(CGUPolicy(), trace, cfg)
+            worst = max(worst, m.ratio)
+        assert worst <= 3.0
+
+
+class TestTheorem4CPG:
+    @pytest.mark.parametrize("cfg,trace", weighted_batteries())
+    def test_cpg_within_14_83(self, cfg, trace):
+        m = measure_crossbar_ratio(
+            CPGPolicy(), trace, cfg, bound=cpg_optimal_ratio()
+        )
+        assert m.within_bound, f"CPG ratio {m.ratio} on {trace.name}"
+
+    def test_cpg_single_threshold_ablation_within_its_bound(self):
+        from repro.core.params import cpg_ratio, kesselman_cpg_params
+
+        b, a = kesselman_cpg_params()
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
+        trace = BernoulliTraffic(
+            3, 3, load=1.5, value_model=two_value(20, 0.2)
+        ).generate(12, seed=31)
+        m = measure_crossbar_ratio(
+            CPGPolicy(beta=b, alpha=a), trace, cfg, bound=cpg_ratio(b, a)
+        )
+        assert m.within_bound
+
+
+class TestCrossModelRelations:
+    def test_same_trace_both_models_conserve(self, small_config, unit_trace):
+        from repro.simulation.engine import run_cioq, run_crossbar
+
+        gm = run_cioq(GMPolicy(), small_config, unit_trace)
+        cgu = run_crossbar(CGUPolicy(), small_config, unit_trace)
+        gm.check_conservation()
+        cgu.check_conservation()
+
+    def test_unit_pg_equals_gm_like_benefit(self, small_config, unit_trace):
+        """On unit values PG's value rules degenerate; its benefit is in
+        the same ballpark as GM's and both respect the OPT ceiling."""
+        from repro.offline.opt import cioq_opt
+        from repro.simulation.engine import run_cioq
+
+        opt = cioq_opt(unit_trace, small_config).benefit
+        gm = run_cioq(GMPolicy(), small_config, unit_trace).benefit
+        pg = run_cioq(PGPolicy(), small_config, unit_trace).benefit
+        assert gm <= opt + 1e-9 and pg <= opt + 1e-9
+        assert abs(gm - pg) <= 0.25 * opt

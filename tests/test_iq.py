@@ -1,0 +1,97 @@
+"""Tests for the IQ-model reduction (Section 1.2 / Section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.iq import (
+    IQLowerBound,
+    iq_config,
+    iq_trace,
+    known_lower_bounds,
+    tlh_equivalence_note,
+)
+from repro.offline.opt import cioq_opt
+from repro.simulation.engine import run_cioq
+
+
+class TestReduction:
+    def test_iq_config_shape(self):
+        c = iq_config(m=4, b=2)
+        assert c.n_in == 4 and c.n_out == 1
+        assert c.speedup == 1
+        assert c.b_in == 2 and c.b_out == 1
+
+    def test_iq_config_validation(self):
+        with pytest.raises(ValueError):
+            iq_config(0, 1)
+
+    def test_iq_trace_construction(self):
+        t = iq_trace([(0, 1.0, 0), (2, 3.0, 1)], m=3)
+        assert t.n_in == 3 and t.n_out == 1
+        assert all(p.dst == 0 for p in t.packets)
+
+    def test_iq_trace_queue_range(self):
+        with pytest.raises(ValueError):
+            iq_trace([(5, 1.0, 0)], m=3)
+
+    def test_single_queue_sends_one_per_slot(self):
+        """An IQ switch transmits at most one packet per slot."""
+        cfg = iq_config(m=2, b=4)
+        t = iq_trace([(0, 1.0, 0)] * 0 + [(i % 2, 1.0, 0) for i in range(6)],
+                     m=2)
+        res = run_cioq(GMPolicy(), cfg, t, record=True)
+        per_slot = {}
+        for slot, _j, _pid in res.transmit_log:
+            per_slot[slot] = per_slot.get(slot, 0) + 1
+        assert all(v == 1 for v in per_slot.values())
+
+    def test_gm_within_3_on_iq(self):
+        cfg = iq_config(m=3, b=2)
+        t = iq_trace(
+            [(i % 3, 1.0, s) for s in range(8) for i in range(2)], m=3
+        )
+        onl = run_cioq(GMPolicy(), cfg, t)
+        opt = cioq_opt(t, cfg)
+        assert opt.benefit <= 3 * onl.benefit + 1e-9
+
+    def test_pg_within_bound_on_iq(self):
+        cfg = iq_config(m=3, b=2)
+        t = iq_trace(
+            [(i % 3, float(1 + (s * i) % 7), s) for s in range(8)
+             for i in range(2)],
+            m=3,
+        )
+        onl = run_cioq(PGPolicy(), cfg, t)
+        opt = cioq_opt(t, cfg)
+        assert opt.benefit <= (3 + 2 * math.sqrt(2)) * onl.benefit + 1e-9
+
+
+class TestLowerBounds:
+    def test_known_bounds_values(self):
+        bounds = {b.name: b for b in known_lower_bounds(m=4, b=2)}
+        assert bounds["deterministic"].value == pytest.approx(2 - 1 / 4)
+        assert bounds["randomized"].value == pytest.approx(
+            math.e / (math.e - 1)
+        )
+        assert bounds["greedy"].value == pytest.approx(2 - 1 / 2)
+        assert bounds["GM-asymptotic"].value == 2.0
+        assert bounds["PG-asymptotic"].value == 3.0
+
+    def test_bounds_all_below_paper_upper_bounds(self):
+        """Every cited lower bound is consistent with Theorems 1-2."""
+        for b in known_lower_bounds(m=8, b=8):
+            if b.name.startswith("PG"):
+                assert b.value <= 3 + 2 * math.sqrt(2)
+            else:
+                assert b.value <= 3.0
+
+    def test_bounds_are_dataclasses_with_sources(self):
+        for b in known_lower_bounds(2, 2):
+            assert isinstance(b, IQLowerBound)
+            assert b.source
+
+    def test_equivalence_note_mentions_tlh(self):
+        assert "TLH" in tlh_equivalence_note()

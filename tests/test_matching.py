@@ -1,0 +1,243 @@
+"""Tests for the matching engines (greedy, Hopcroft-Karp, Hungarian)."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.matching import (
+    MatchingStats,
+    greedy_maximal_matching,
+    greedy_maximal_matching_weighted,
+    hopcroft_karp,
+    is_matching,
+    is_maximal,
+    matching_weight,
+    max_weight_matching,
+)
+
+
+def brute_force_max_matching_size(n_left, n_right, edges):
+    """Exponential-time maximum matching size for validation."""
+    best = 0
+    for r in range(len(edges), 0, -1):
+        if r <= best:
+            break
+        for subset in itertools.combinations(edges, r):
+            if is_matching(subset):
+                best = max(best, r)
+                break
+    return best
+
+
+def brute_force_max_weight(weights):
+    """Exponential maximum-weight matching value for validation."""
+    n_left = len(weights)
+    n_right = len(weights[0]) if n_left else 0
+    edges = [
+        (i, j, weights[i][j])
+        for i in range(n_left)
+        for j in range(n_right)
+        if weights[i][j] > 0
+    ]
+    best = 0.0
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            if is_matching([(u, v) for u, v, _ in subset]):
+                best = max(best, sum(w for _, _, w in subset))
+    return best
+
+
+class TestGreedyMaximal:
+    def test_empty(self):
+        assert greedy_maximal_matching([]) == []
+
+    def test_respects_scan_order(self):
+        edges = [(0, 0), (0, 1), (1, 0)]
+        m = greedy_maximal_matching(edges)
+        assert m == [(0, 0)]  # (0,1) and (1,0) blocked by (0,0)
+
+    def test_different_order_different_matching(self):
+        edges = [(0, 1), (0, 0), (1, 0)]
+        m = greedy_maximal_matching(edges)
+        assert m == [(0, 1), (1, 0)]
+
+    def test_result_is_matching_and_maximal(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 8))
+            edges = [
+                (i, j)
+                for i in range(n)
+                for j in range(n)
+                if rng.random() < 0.5
+            ]
+            m = greedy_maximal_matching(edges)
+            assert is_matching(m)
+            assert is_maximal(m, edges)
+
+    def test_at_least_half_of_maximum(self, rng):
+        """Greedy maximal matchings are 1/2-approximate."""
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            edges = [
+                (i, j)
+                for i in range(n)
+                for j in range(n)
+                if rng.random() < 0.5
+            ]
+            m = greedy_maximal_matching(edges)
+            opt = brute_force_max_matching_size(n, n, edges)
+            assert 2 * len(m) >= opt
+
+    def test_stats_counting(self):
+        stats = MatchingStats()
+        greedy_maximal_matching([(0, 0), (1, 1)], stats=stats)
+        assert stats.edge_scans == 2
+        assert stats.calls == 1
+
+
+class TestGreedyWeighted:
+    def test_orders_by_descending_weight(self):
+        edges = [(0, 0, 1.0), (0, 1, 5.0), (1, 0, 3.0)]
+        m = greedy_maximal_matching_weighted(edges)
+        assert (0, 1, 5.0) in m
+        assert (1, 0, 3.0) in m
+
+    def test_deterministic_tie_break(self):
+        edges = [(1, 1, 2.0), (0, 0, 2.0)]
+        m1 = greedy_maximal_matching_weighted(edges)
+        m2 = greedy_maximal_matching_weighted(list(reversed(edges)))
+        assert m1 == m2
+
+    def test_half_approximation_by_weight(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(2, 5))
+            w = [
+                [
+                    float(rng.uniform(1, 10)) if rng.random() < 0.6 else 0.0
+                    for _ in range(n)
+                ]
+                for _ in range(n)
+            ]
+            edges = [
+                (i, j, w[i][j]) for i in range(n) for j in range(n) if w[i][j] > 0
+            ]
+            m = greedy_maximal_matching_weighted(edges)
+            opt = brute_force_max_weight(w)
+            assert 2 * matching_weight(m) >= opt - 1e-9
+
+
+class TestHopcroftKarp:
+    def test_empty_graph(self):
+        assert hopcroft_karp(3, 3, [[], [], []]) == []
+
+    def test_perfect_matching(self):
+        adj = [[0, 1], [0], [2]]
+        m = hopcroft_karp(3, 3, adj)
+        assert len(m) == 3
+
+    def test_requires_augmenting_path(self):
+        # Greedy on this order gets 1; maximum is 2.
+        adj = [[0, 1], [0]]
+        m = hopcroft_karp(2, 2, adj)
+        assert len(m) == 2
+
+    def test_matches_networkx_on_random_graphs(self, rng):
+        for _ in range(15):
+            n_left = int(rng.integers(1, 8))
+            n_right = int(rng.integers(1, 8))
+            adj = [
+                [j for j in range(n_right) if rng.random() < 0.4]
+                for _ in range(n_left)
+            ]
+            m = hopcroft_karp(n_left, n_right, adj)
+            assert is_matching(m)
+            g = nx.Graph()
+            g.add_nodes_from(range(n_left), bipartite=0)
+            g.add_nodes_from(
+                [n_left + j for j in range(n_right)], bipartite=1
+            )
+            for u, neighbors in enumerate(adj):
+                for v in neighbors:
+                    g.add_edge(u, n_left + v)
+            expected = len(
+                nx.bipartite.maximum_matching(g, top_nodes=range(n_left))
+            ) // 2
+            assert len(m) == expected
+
+
+class TestHungarian:
+    def test_empty(self):
+        assert max_weight_matching([]) == []
+
+    def test_simple_assignment(self):
+        w = [[3.0, 1.0], [1.0, 3.0]]
+        m = max_weight_matching(w)
+        assert matching_weight(m) == 6.0
+
+    def test_prefers_single_heavy_edge(self):
+        w = [[10.0, 0.0], [0.0, 0.0]]
+        m = max_weight_matching(w)
+        assert m == [(0, 0, 10.0)]
+
+    def test_leaves_vertices_unmatched_when_beneficial(self):
+        # Matching (0,0) would block the heavy (1,0); optimum leaves 0
+        # unmatched.
+        w = [[1.0, 0.0], [100.0, 0.0]]
+        m = max_weight_matching(w)
+        assert m == [(1, 0, 100.0)]
+
+    def test_matches_brute_force_on_random(self, rng):
+        for _ in range(12):
+            n = int(rng.integers(1, 5))
+            w = [
+                [
+                    float(rng.uniform(1, 20)) if rng.random() < 0.7 else 0.0
+                    for _ in range(n)
+                ]
+                for _ in range(n)
+            ]
+            m = max_weight_matching(w)
+            assert is_matching([(u, v) for u, v, _ in m])
+            assert matching_weight(m) == pytest.approx(brute_force_max_weight(w))
+
+    def test_rectangular_matrices(self, rng):
+        w = [[2.0, 7.0, 1.0]]
+        m = max_weight_matching(w)
+        assert m == [(0, 1, 7.0)]
+        w2 = [[2.0], [7.0], [1.0]]
+        m2 = max_weight_matching(w2)
+        assert m2 == [(1, 0, 7.0)]
+
+
+class TestProperties:
+    @given(
+        n=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        density=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_is_maximal_matching(self, n, seed, density):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (i, j) for i in range(n) for j in range(n) if rng.random() < density
+        ]
+        m = greedy_maximal_matching(edges)
+        assert is_matching(m)
+        assert is_maximal(m, edges)
+
+    @given(n=st.integers(1, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_hungarian_at_least_greedy(self, n, seed):
+        """Maximum-weight matching weight >= greedy weight."""
+        rng = np.random.default_rng(seed)
+        w = [[float(rng.uniform(0, 10)) for _ in range(n)] for _ in range(n)]
+        edges = [
+            (i, j, w[i][j]) for i in range(n) for j in range(n) if w[i][j] > 0
+        ]
+        greedy = matching_weight(greedy_maximal_matching_weighted(edges))
+        hungarian = matching_weight(max_weight_matching(w))
+        assert hungarian >= greedy - 1e-9

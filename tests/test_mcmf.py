@@ -1,0 +1,126 @@
+"""Tests for the from-scratch min-cost flow solver."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.offline.mcmf import MinCostFlow
+
+
+class TestBasics:
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            MinCostFlow(1)
+
+    def test_rejects_bad_edges(self):
+        g = MinCostFlow(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1, 0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1, 0)
+
+    def test_single_edge_flow(self):
+        g = MinCostFlow(2)
+        e = g.add_edge(0, 1, 3, 1.0)
+        flow, cost = g.solve_min_cost_max_flow(0, 1)
+        assert flow == 3
+        assert cost == 3.0
+        assert g.flow_on(e) == 3
+
+    def test_disconnected_is_zero(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 5, 1.0)
+        flow, cost = g.solve_min_cost_max_flow(0, 2)
+        assert flow == 0 and cost == 0
+
+
+class TestMinCostMaxFlow:
+    def test_prefers_cheap_path(self):
+        g = MinCostFlow(4)
+        cheap = g.add_edge(0, 1, 1, 1.0)
+        g.add_edge(1, 3, 1, 0.0)
+        exp = g.add_edge(0, 2, 1, 5.0)
+        g.add_edge(2, 3, 1, 0.0)
+        flow, cost = g.solve_min_cost_max_flow(0, 3)
+        assert flow == 2
+        assert cost == 6.0
+        assert g.flow_on(cheap) == 1
+        assert g.flow_on(exp) == 1
+
+    def test_bottleneck_capacity(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 10, 0.0)
+        g.add_edge(1, 2, 4, 2.0)
+        flow, cost = g.solve_min_cost_max_flow(0, 2)
+        assert flow == 4
+        assert cost == 8.0
+
+    def test_matches_networkx_on_random_dags(self, rng):
+        """Cross-check against networkx max_flow_min_cost on layered DAGs."""
+        for trial in range(8):
+            layers = [1, int(rng.integers(2, 4)), int(rng.integers(2, 4)), 1]
+            ids = []
+            nid = 0
+            for width in layers:
+                ids.append(list(range(nid, nid + width)))
+                nid += width
+            n = nid
+            g = MinCostFlow(n)
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(range(n))
+            for a, b in zip(ids, ids[1:]):
+                for u in a:
+                    for v in b:
+                        if rng.random() < 0.8:
+                            cap = int(rng.integers(1, 5))
+                            cost = int(rng.integers(0, 6))
+                            g.add_edge(u, v, cap, cost)
+                            nxg.add_edge(u, v, capacity=cap, weight=cost)
+            src, snk = ids[0][0], ids[-1][0]
+            flow, cost = g.solve_min_cost_max_flow(src, snk)
+            expected_flow = nx.maximum_flow_value(nxg, src, snk)
+            assert flow == pytest.approx(expected_flow)
+            if expected_flow > 0:
+                flow_dict = nx.max_flow_min_cost(nxg, src, snk)
+                expected_cost = nx.cost_of_flow(nxg, flow_dict)
+                assert cost == pytest.approx(expected_cost)
+
+
+class TestMaxBenefit:
+    def test_stops_at_nonnegative_paths(self):
+        """Only the profitable path is used."""
+        g = MinCostFlow(4)
+        g.add_edge(0, 1, 1, -10.0)  # profitable packet
+        g.add_edge(1, 3, 1, 0.0)
+        g.add_edge(0, 2, 1, 3.0)  # unprofitable route
+        g.add_edge(2, 3, 1, 0.0)
+        flow, cost = g.solve_max_benefit(0, 3)
+        assert flow == 1
+        assert cost == -10.0
+
+    def test_takes_all_profitable_units(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 5, -2.0)
+        g.add_edge(1, 2, 3, 1.0)
+        flow, cost = g.solve_max_benefit(0, 2)
+        assert flow == 3
+        assert cost == -3.0
+
+    def test_zero_when_nothing_profitable(self):
+        g = MinCostFlow(3)
+        g.add_edge(0, 1, 5, 1.0)
+        g.add_edge(1, 2, 5, 1.0)
+        flow, cost = g.solve_max_benefit(0, 2)
+        assert flow == 0 and cost == 0.0
+
+    def test_benefit_choice_between_packets(self):
+        """Two packets compete for one capacity unit: the richer wins."""
+        g = MinCostFlow(5)
+        g.add_edge(0, 1, 1, -3.0)
+        g.add_edge(0, 2, 1, -8.0)
+        g.add_edge(1, 3, 1, 0.0)
+        g.add_edge(2, 3, 1, 0.0)
+        g.add_edge(3, 4, 1, 0.0)  # shared bottleneck
+        flow, cost = g.solve_max_benefit(0, 4)
+        assert flow == 1
+        assert cost == -8.0

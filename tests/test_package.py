@@ -1,0 +1,127 @@
+"""Package-level tests: public API surface, metadata, docs consistency."""
+
+import pathlib
+
+import pytest
+
+import repro
+
+ROOT = pathlib.Path(repro.__file__).resolve().parent.parent.parent
+
+
+class TestMetadata:
+    def test_version(self):
+        assert repro.__version__
+        assert repro.PAPER.startswith("Kamal Al-Bawani")
+        assert "SPAA 2016" in repro.PAPER
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_core_api_importable_from_top_level(self):
+        from repro import (  # noqa: F401
+            CGUPolicy,
+            CPGPolicy,
+            GMPolicy,
+            PGPolicy,
+            SwitchConfig,
+            cioq_opt,
+            crossbar_opt,
+            run_cioq,
+            run_crossbar,
+        )
+
+    def test_subpackages_have_docstrings(self):
+        import repro.analysis
+        import repro.core
+        import repro.offline
+        import repro.scheduling
+        import repro.simulation
+        import repro.switch
+        import repro.theory
+        import repro.traffic
+
+        for mod in (
+            repro,
+            repro.analysis,
+            repro.core,
+            repro.offline,
+            repro.scheduling,
+            repro.simulation,
+            repro.switch,
+            repro.theory,
+            repro.traffic,
+        ):
+            assert mod.__doc__ and len(mod.__doc__) > 20
+
+
+class TestDocsConsistency:
+    """The documentation must reference artifacts that actually exist."""
+
+    @pytest.fixture(scope="class")
+    def bench_files(self):
+        return {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+
+    def test_design_md_bench_targets_exist(self, bench_files):
+        text = (ROOT / "DESIGN.md").read_text()
+        import re
+
+        for name in set(re.findall(r"bench_[a-z0-9_]+\.py", text)):
+            assert name in bench_files, f"DESIGN.md references missing {name}"
+
+    def test_experiments_md_bench_targets_exist(self, bench_files):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        import re
+
+        for name in set(re.findall(r"bench_[a-z0-9_]+\.py", text)):
+            assert name in bench_files, (
+                f"EXPERIMENTS.md references missing {name}"
+            )
+
+    def test_readme_examples_exist(self):
+        text = (ROOT / "README.md").read_text()
+        import re
+
+        for name in set(re.findall(r"examples/([a-z0-9_]+\.py)", text)):
+            assert (ROOT / "examples" / name).exists(), (
+                f"README references missing examples/{name}"
+            )
+
+    def test_every_experiment_module_documented(self, bench_files):
+        """Each bench module appears in EXPERIMENTS.md or README.md
+        (bench_engine is substrate-only and exempt)."""
+        documented = (ROOT / "EXPERIMENTS.md").read_text() + (
+            ROOT / "README.md"
+        ).read_text()
+        for name in bench_files:
+            if name == "bench_engine.py":
+                continue
+            assert name.replace(".py", "") in documented or name in documented, (
+                f"{name} is not documented"
+            )
+
+    def test_paper_mapping_module_references_resolve(self):
+        """Every `repro.x.y` dotted path in docs/paper_mapping.md must
+        import."""
+        import importlib
+        import re
+
+        text = (ROOT / "docs" / "paper_mapping.md").read_text()
+        for dotted in set(re.findall(r"`(repro(?:\.[a-z_]+)+)", text)):
+            parts = dotted.split(".")
+            # Find the longest importable module prefix, then resolve
+            # the remaining attributes.
+            for cut in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:cut]))
+                    break
+                except ImportError:
+                    continue
+            else:  # pragma: no cover
+                raise AssertionError(f"cannot import any prefix of {dotted}")
+            for attr in parts[cut:]:
+                assert hasattr(obj, attr), (
+                    f"paper_mapping.md references missing {dotted}"
+                )
+                obj = getattr(obj, attr)

@@ -1,0 +1,113 @@
+"""Unit tests for the Crossbar Greedy Unit (CGU) policy — Section 3.1."""
+
+import pytest
+
+from repro.core.cgu import CGUPolicy
+from repro.simulation.engine import run_crossbar
+from repro.switch.config import SwitchConfig
+from repro.switch.crossbar import CrossbarSwitch
+from repro.switch.packet import Packet
+from repro.theory.invariants import CheckedCGUPolicy
+from repro.traffic.bernoulli import BernoulliTraffic
+
+
+def pk(pid, src, dst):
+    return Packet(pid, 1.0, 0, src, dst)
+
+
+@pytest.fixture
+def switch():
+    return CrossbarSwitch(SwitchConfig.square(3, b_in=2, b_out=2, b_cross=1))
+
+
+class TestArrival:
+    def test_accepts_with_space(self, switch):
+        assert CGUPolicy().on_arrival(switch, pk(0, 0, 0)).accept
+
+    def test_rejects_when_full(self, switch):
+        switch.enqueue_arrival(pk(0, 0, 0))
+        switch.enqueue_arrival(pk(1, 0, 0))
+        assert not CGUPolicy().on_arrival(switch, pk(2, 0, 0)).accept
+
+
+class TestInputSubphase:
+    def test_one_transfer_per_busy_input(self, switch):
+        switch.enqueue_arrival(pk(0, 0, 0))
+        switch.enqueue_arrival(pk(1, 0, 1))
+        switch.enqueue_arrival(pk(2, 2, 1))
+        transfers = CGUPolicy().input_subphase(switch, 0, 0)
+        srcs = [t.src for t in transfers]
+        assert sorted(srcs) == [0, 2]
+        assert len(set(srcs)) == len(srcs)
+
+    def test_skips_full_crosspoints(self, switch):
+        cgu = CGUPolicy()
+        switch.enqueue_arrival(pk(0, 0, 1))
+        switch.apply_input_subphase(cgu.input_subphase(switch, 0, 0))
+        assert switch.cross_lengths()[0][1] == 1  # b_cross=1: now full
+        switch.enqueue_arrival(pk(1, 0, 1))
+        transfers = cgu.input_subphase(switch, 0, 1)
+        assert all((t.src, t.dst) != (0, 1) for t in transfers)
+
+    def test_never_preempts(self, switch):
+        switch.enqueue_arrival(pk(0, 0, 0))
+        transfers = CGUPolicy().input_subphase(switch, 0, 0)
+        assert all(t.preempt is None for t in transfers)
+
+
+class TestOutputSubphase:
+    def test_transfers_to_each_output_with_room(self, switch):
+        cgu = CGUPolicy()
+        for pid, (i, j) in enumerate([(0, 0), (1, 1)]):
+            switch.enqueue_arrival(pk(pid, i, j))
+        switch.apply_input_subphase(cgu.input_subphase(switch, 0, 0))
+        transfers = cgu.output_subphase(switch, 0, 0)
+        assert {t.dst for t in transfers} == {0, 1}
+
+    def test_skips_full_output_queues(self):
+        config = SwitchConfig.square(2, b_in=2, b_out=1, b_cross=2)
+        switch = CrossbarSwitch(config)
+        cgu = CGUPolicy()
+        for pid in range(2):
+            switch.enqueue_arrival(pk(pid, pid, 0))
+        switch.apply_input_subphase(cgu.input_subphase(switch, 0, 0))
+        out1 = cgu.output_subphase(switch, 0, 0)
+        switch.apply_output_subphase(out1)
+        assert switch.out_lengths()[0] == 1  # full now
+        assert cgu.output_subphase(switch, 0, 1) == []
+
+    def test_one_transfer_per_output(self, switch):
+        cgu = CGUPolicy()
+        # Two crosspoints feed output 0.
+        for pid, i in enumerate([0, 1]):
+            switch.enqueue_arrival(pk(pid, i, 0))
+        switch.apply_input_subphase(cgu.input_subphase(switch, 0, 0))
+        transfers = cgu.output_subphase(switch, 0, 0)
+        assert len(transfers) == 1
+
+
+class TestEndToEnd:
+    def test_faithfulness_on_random_traffic(self):
+        config = SwitchConfig.square(3, speedup=2, b_in=2, b_out=2, b_cross=1)
+        trace = BernoulliTraffic(3, 3, load=1.2).generate(30, seed=5)
+        res = run_crossbar(
+            CheckedCGUPolicy(CGUPolicy()), config, trace, check_invariants=True
+        )
+        res.check_conservation()
+        assert res.n_preempted == 0
+
+    def test_underload_delivers_everything(self):
+        config = SwitchConfig.square(3, speedup=2, b_in=8, b_out=8, b_cross=2)
+        trace = BernoulliTraffic(3, 3, load=0.3).generate(30, seed=1)
+        res = run_crossbar(CGUPolicy(), config, trace)
+        assert res.n_sent == len(trace)
+
+    def test_pipeline_latency_single_packet(self):
+        """A lone packet crosses VOQ -> crosspoint -> output -> wire in
+        one slot (input subphase, output subphase, transmission)."""
+        from repro.traffic.trace import Trace
+
+        config = SwitchConfig.square(2, b_in=1, b_out=1, b_cross=1)
+        trace = Trace([Packet(0, 1.0, 0, 1, 0)], 2, 2)
+        res = run_crossbar(CGUPolicy(), config, trace)
+        assert res.n_sent == 1

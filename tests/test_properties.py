@@ -1,0 +1,160 @@
+"""Hypothesis property tests across the whole stack.
+
+These generate random instances (dimensions, capacities, speedups,
+loads, value models) and assert the structural invariants that must hold
+for *every* instance: conservation, OPT dominance, theorem bounds,
+faithfulness, and monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ratio import measure_cioq_ratio, measure_crossbar_ratio
+from repro.core.cgu import CGUPolicy
+from repro.core.cpg import CPGPolicy
+from repro.core.gm import GMPolicy
+from repro.core.params import cpg_optimal_ratio, pg_optimal_ratio
+from repro.core.pg import PGPolicy
+from repro.offline.opt import cioq_opt
+from repro.simulation.engine import run_cioq, run_crossbar
+from repro.switch.config import SwitchConfig
+from repro.switch.packet import Packet
+from repro.traffic.trace import Trace
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw, weighted=False, max_ports=3, max_slots=6):
+    """A random (config, trace) pair."""
+    n_in = draw(st.integers(1, max_ports))
+    n_out = draw(st.integers(1, max_ports))
+    config = SwitchConfig(
+        n_in=n_in,
+        n_out=n_out,
+        speedup=draw(st.integers(1, 2)),
+        b_in=draw(st.integers(1, 3)),
+        b_out=draw(st.integers(1, 3)),
+        b_cross=draw(st.integers(1, 2)),
+    )
+    n_packets = draw(st.integers(0, 14))
+    packets = []
+    for pid in range(n_packets):
+        value = (
+            draw(st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+            if weighted
+            else 1.0
+        )
+        packets.append(
+            Packet(
+                pid,
+                value,
+                draw(st.integers(0, max_slots - 1)),
+                draw(st.integers(0, n_in - 1)),
+                draw(st.integers(0, n_out - 1)),
+            )
+        )
+    return config, Trace(packets, n_in, n_out)
+
+
+class TestConservation:
+    @given(inst=instances(weighted=True))
+    @SLOW
+    def test_pg_conservation(self, inst):
+        config, trace = inst
+        res = run_cioq(PGPolicy(), config, trace, check_invariants=True)
+        res.check_conservation()
+        assert res.n_residual == 0  # drain bound always suffices
+
+    @given(inst=instances(weighted=False))
+    @SLOW
+    def test_gm_conservation(self, inst):
+        config, trace = inst
+        res = run_cioq(GMPolicy(), config, trace, check_invariants=True)
+        res.check_conservation()
+        assert res.n_preempted == 0
+
+    @given(inst=instances(weighted=True))
+    @SLOW
+    def test_cpg_conservation(self, inst):
+        config, trace = inst
+        res = run_crossbar(CPGPolicy(), config, trace, check_invariants=True)
+        res.check_conservation()
+        assert res.n_residual == 0
+
+    @given(inst=instances(weighted=False))
+    @SLOW
+    def test_cgu_conservation(self, inst):
+        config, trace = inst
+        res = run_crossbar(CGUPolicy(), config, trace, check_invariants=True)
+        res.check_conservation()
+
+
+class TestTheoremBounds:
+    @given(inst=instances(weighted=False))
+    @SLOW
+    def test_gm_ratio_bound(self, inst):
+        config, trace = inst
+        m = measure_cioq_ratio(GMPolicy(), trace, config, bound=3.0)
+        assert m.within_bound
+
+    @given(inst=instances(weighted=True))
+    @SLOW
+    def test_pg_ratio_bound(self, inst):
+        config, trace = inst
+        m = measure_cioq_ratio(
+            PGPolicy(), trace, config, bound=pg_optimal_ratio()
+        )
+        assert m.within_bound
+
+    @given(inst=instances(weighted=False))
+    @SLOW
+    def test_cgu_ratio_bound(self, inst):
+        config, trace = inst
+        m = measure_crossbar_ratio(CGUPolicy(), trace, config, bound=3.0)
+        assert m.within_bound
+
+    @given(inst=instances(weighted=True))
+    @SLOW
+    def test_cpg_ratio_bound(self, inst):
+        config, trace = inst
+        m = measure_crossbar_ratio(
+            CPGPolicy(), trace, config, bound=cpg_optimal_ratio()
+        )
+        assert m.within_bound
+
+
+class TestOptStructure:
+    @given(inst=instances(weighted=True))
+    @SLOW
+    def test_opt_delivers_at_most_everything(self, inst):
+        config, trace = inst
+        opt = cioq_opt(trace, config)
+        assert opt.n_delivered <= len(trace)
+        assert opt.benefit <= trace.total_value + 1e-9
+
+    @given(inst=instances(weighted=False))
+    @SLOW
+    def test_opt_no_worse_than_gm(self, inst):
+        config, trace = inst
+        opt = cioq_opt(trace, config)
+        onl = run_cioq(GMPolicy(), config, trace)
+        assert onl.benefit <= opt.benefit + 1e-9
+
+    @given(inst=instances(weighted=False, max_slots=4))
+    @SLOW
+    def test_opt_transmission_rate_ceiling(self, inst):
+        """OPT can never deliver more than one packet per output per
+        slot over any horizon."""
+        config, trace = inst
+        opt = cioq_opt(trace, config, extract_schedule=True)
+        per_slot = {}
+        for t, j in opt.transmissions:
+            per_slot[(t, j)] = per_slot.get((t, j), 0) + 1
+        assert all(v <= 1 for v in per_slot.values())

@@ -1,0 +1,110 @@
+"""Tests for the paper's analytical constants (Theorems 2 and 4)."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    cpg_optimal_params,
+    cpg_optimal_ratio,
+    cpg_ratio,
+    kesselman_cpg_params,
+    pg_optimal_beta,
+    pg_optimal_ratio,
+    pg_ratio,
+)
+from repro.theory.ratios import (
+    cpg_alpha_given_beta,
+    verify_cpg_beta_cubic,
+    verify_cpg_optimum,
+    verify_paper_constants,
+    verify_pg_optimum,
+)
+
+
+class TestPGConstants:
+    def test_beta_star_value(self):
+        assert pg_optimal_beta() == pytest.approx(1 + math.sqrt(2))
+
+    def test_ratio_star_value(self):
+        assert pg_optimal_ratio() == pytest.approx(3 + 2 * math.sqrt(2))
+        assert pg_optimal_ratio() == pytest.approx(5.8284, abs=1e-4)
+
+    def test_ratio_formula_at_optimum(self):
+        assert pg_ratio(pg_optimal_beta()) == pytest.approx(pg_optimal_ratio())
+
+    def test_ratio_diverges_at_one(self):
+        assert pg_ratio(1.0) == math.inf
+        assert pg_ratio(1.0001) > 1000
+
+    def test_ratio_grows_for_large_beta(self):
+        assert pg_ratio(100) > pg_ratio(10) > pg_optimal_ratio()
+
+    def test_numeric_optimum_matches_analytic(self):
+        check = verify_pg_optimum()
+        assert check.consistent
+        assert check.params_error < 1e-5
+
+
+class TestCPGConstants:
+    def test_radicals_produce_expected_values(self):
+        beta, alpha, ratio = cpg_optimal_params()
+        assert beta == pytest.approx(1.8393, abs=1e-4)
+        assert alpha == pytest.approx(2.8393, abs=1e-4)
+        assert ratio == pytest.approx(14.83, abs=0.005)
+
+    def test_ratio_formula_at_optimum(self):
+        beta, alpha, ratio = cpg_optimal_params()
+        assert cpg_ratio(beta, alpha) == pytest.approx(ratio, abs=1e-9)
+
+    def test_alpha_is_two_over_beta_minus_one_squared(self):
+        beta, alpha, _ = cpg_optimal_params()
+        assert alpha == pytest.approx(2.0 / (beta - 1.0) ** 2)
+
+    def test_inner_alpha_formula(self):
+        beta, alpha, _ = cpg_optimal_params()
+        assert cpg_alpha_given_beta(beta) == pytest.approx(alpha)
+
+    def test_ratio_worse_off_optimum(self):
+        beta, alpha, ratio = cpg_optimal_params()
+        assert cpg_ratio(beta * 1.3, alpha) > ratio
+        assert cpg_ratio(beta, alpha * 1.5) > ratio
+        assert cpg_ratio(beta * 0.8, alpha * 0.8) > ratio
+
+    def test_boundary_divergence(self):
+        assert cpg_ratio(1.0, 2.0) == math.inf
+        assert cpg_ratio(2.0, 1.0) == math.inf
+
+    def test_numeric_optimum_matches_analytic(self):
+        check = verify_cpg_optimum()
+        assert check.consistent
+
+    def test_stationarity_residual_small(self):
+        assert verify_cpg_beta_cubic() < 1e-5
+
+    def test_improves_on_previous_ratio(self):
+        assert cpg_optimal_ratio() < 16.24
+
+
+class TestSingleThresholdAblation:
+    def test_kesselman_choice_is_equal_thresholds(self):
+        b, a = kesselman_cpg_params()
+        assert b == pytest.approx(a)
+
+    def test_decoupled_thresholds_beat_coupled(self):
+        """The paper's beta != alpha strictly improves on beta == alpha
+        (the prior algorithm's parameterization)."""
+        b, a = kesselman_cpg_params()
+        coupled = cpg_ratio(b, a)
+        assert cpg_optimal_ratio() < coupled
+        # The coupled optimum is still finite and sane.
+        assert 14.0 < cpg_optimal_ratio() < coupled < 17.0
+
+
+class TestSummary:
+    def test_verify_paper_constants_report(self):
+        report = verify_paper_constants()
+        assert report["pg_consistent"]
+        assert report["cpg_consistent"]
+        assert report["cpg_alpha_formula_matches"] < 1e-9
+        assert report["cpg_cubic_residual"] < 1e-5

@@ -1,0 +1,102 @@
+"""Tests for the weighted (Theorem 2) modified-OPT replay."""
+
+import pytest
+
+from repro.core.params import pg_optimal_beta
+from repro.core.pg import PGPolicy
+from repro.offline.opt import cioq_opt
+from repro.simulation.engine import run_cioq
+from repro.switch.config import SwitchConfig
+from repro.theory.shadow_weighted import replay_pg_shadow
+from repro.traffic.adversarial import beta_admission_gadget
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.values import pareto_values, two_value, uniform_values
+
+
+def certificate(trace, config, beta):
+    pg = run_cioq(PGPolicy(beta=beta), config, trace, record=True)
+    opt = cioq_opt(trace, config, extract_schedule=True)
+    return replay_pg_shadow(trace, config, pg, opt, beta)
+
+
+class TestCertification:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_uniform_values_certify(self, seed):
+        beta = pg_optimal_beta()
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.4, value_model=uniform_values(1, 50)
+        ).generate(12, seed=seed)
+        cert = certificate(trace, cfg, beta)
+        assert cert.theorem2_certified
+        assert cert.s_star_bounded
+        assert cert.privileged_bounded
+        assert cert.modified_opt_benefit == pytest.approx(cert.opt_benefit)
+
+    def test_two_value_certifies(self):
+        beta = pg_optimal_beta()
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.5, value_model=two_value(20, 0.25)
+        ).generate(12, seed=3)
+        cert = certificate(trace, cfg, beta)
+        assert cert.theorem2_certified
+
+    def test_pareto_speedup_two_certifies(self):
+        beta = pg_optimal_beta()
+        cfg = SwitchConfig.square(3, speedup=2, b_in=2, b_out=2)
+        trace = HotspotTraffic(
+            3, 3, load=1.6, hot_fraction=0.7, value_model=pareto_values(1.4)
+        ).generate(12, seed=5)
+        cert = certificate(trace, cfg, beta)
+        assert cert.theorem2_certified
+
+    @pytest.mark.parametrize("beta", [1.5, 2.0, 4.0])
+    def test_off_optimal_betas_certify(self, beta):
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.4, value_model=uniform_values(1, 30)
+        ).generate(10, seed=7)
+        cert = certificate(trace, cfg, beta)
+        # The certificate bound is beta-dependent and must hold per beta.
+        bound = beta + 2 * beta / (beta - 1)
+        assert cert.modified_opt_benefit <= bound * cert.pg_benefit + 1e-6
+
+    def test_adversarial_gadget_certifies(self):
+        beta = pg_optimal_beta()
+        n, b = 2, 4
+        cfg = SwitchConfig.square(n, speedup=n, b_in=b, b_out=b)
+        trace = beta_admission_gadget(beta, n=n, b_out=b, rate=3, n_rounds=2)
+        cert = certificate(trace, cfg, beta)
+        assert cert.theorem2_certified
+        # The gadget forces genuine privileged traffic.
+        assert cert.privileged_value > 0
+
+    def test_skip_conservation(self):
+        beta = pg_optimal_beta()
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(
+            3, 3, load=1.5, value_model=uniform_values(1, 40)
+        ).generate(12, seed=9)
+        cert = certificate(trace, cfg, beta)
+        # Every Type-1 privilege voids exactly one scheduled departure.
+        assert cert.skipped_departures == cert.n_privileged[0]
+
+    def test_rejects_beta_at_most_one(self):
+        cfg = SwitchConfig.square(2, b_in=1, b_out=1)
+        trace = BernoulliTraffic(2, 2, load=1.0).generate(4, seed=0)
+        pg = run_cioq(PGPolicy(beta=1.5), cfg, trace, record=True)
+        opt = cioq_opt(trace, cfg, extract_schedule=True)
+        with pytest.raises(ValueError, match="beta"):
+            replay_pg_shadow(trace, cfg, pg, opt, beta=1.0)
+
+    def test_unit_values_behave_like_gm_case(self):
+        """On unit traffic the alignment factor never binds and the
+        certificate reduces to counting."""
+        beta = 2.0
+        cfg = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
+        trace = BernoulliTraffic(3, 3, load=1.2).generate(10, seed=1)
+        cert = certificate(trace, cfg, beta)
+        assert cert.theorem2_certified
+        assert cert.modified_opt_benefit == pytest.approx(cert.opt_benefit)

@@ -1,0 +1,135 @@
+"""Tests for trace composition utilities."""
+
+import pytest
+
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.offline.opt import cioq_opt
+from repro.simulation.engine import run_cioq
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.transforms import (
+    concat,
+    map_values,
+    merge,
+    restrict_ports,
+    scale_values,
+    time_dilate,
+)
+from repro.traffic.values import uniform_values
+
+
+@pytest.fixture
+def base():
+    return BernoulliTraffic(3, 3, load=1.0).generate(10, seed=1)
+
+
+@pytest.fixture
+def weighted():
+    return BernoulliTraffic(
+        3, 3, load=1.2, value_model=uniform_values(1, 20)
+    ).generate(10, seed=2)
+
+
+class TestConcat:
+    def test_lengths_add(self, base):
+        other = BernoulliTraffic(3, 3, load=0.5).generate(5, seed=3)
+        joined = concat(base, other, gap=2)
+        assert len(joined) == len(base) + len(other)
+        assert joined.n_slots == base.n_slots + 2 + other.n_slots
+
+    def test_second_trace_shifted(self, base):
+        other = BernoulliTraffic(3, 3, load=0.5).generate(5, seed=3)
+        joined = concat(base, other)
+        late = [p for p in joined.packets if p.arrival >= base.n_slots]
+        assert len(late) == len(other)
+
+    def test_dimension_mismatch(self, base):
+        other = BernoulliTraffic(2, 2, load=0.5).generate(5, seed=3)
+        with pytest.raises(ValueError):
+            concat(base, other)
+
+    def test_negative_gap(self, base):
+        with pytest.raises(ValueError):
+            concat(base, base, gap=-1)
+
+    def test_pids_canonical(self, base):
+        joined = concat(base, base)
+        assert [p.pid for p in joined.packets] == list(range(len(joined)))
+
+
+class TestMerge:
+    def test_counts_add(self, base):
+        other = BernoulliTraffic(3, 3, load=0.5).generate(10, seed=9)
+        merged = merge(base, other)
+        assert len(merged) == len(base) + len(other)
+        assert merged.n_slots == max(base.n_slots, other.n_slots)
+
+    def test_merged_load_increases_contention(self, base):
+        config = SwitchConfig.square(3, b_in=1, b_out=1)
+        solo = run_cioq(GMPolicy(), config, base)
+        merged = merge(base, BernoulliTraffic(3, 3, load=1.0).generate(
+            10, seed=9))
+        both = run_cioq(GMPolicy(), config, merged)
+        assert both.n_rejected >= solo.n_rejected
+
+
+class TestValueTransforms:
+    def test_scale_multiplies(self, weighted):
+        scaled = scale_values(weighted, 3.0)
+        assert scaled.total_value == pytest.approx(3.0 * weighted.total_value)
+
+    def test_scale_validation(self, weighted):
+        with pytest.raises(ValueError):
+            scale_values(weighted, 0.0)
+
+    def test_ratio_invariant_under_scaling(self, weighted):
+        """Competitive ratios are scale-free: PG's ratio on the scaled
+        trace equals its ratio on the original."""
+        config = SwitchConfig.square(3, speedup=1, b_in=1, b_out=1)
+        scaled = scale_values(weighted, 7.0)
+        r1 = run_cioq(PGPolicy(), config, weighted)
+        r2 = run_cioq(PGPolicy(), config, scaled)
+        o1 = cioq_opt(weighted, config).benefit
+        o2 = cioq_opt(scaled, config).benefit
+        assert o2 == pytest.approx(7.0 * o1)
+        assert r2.benefit == pytest.approx(7.0 * r1.benefit)
+
+    def test_map_values(self, weighted):
+        doubled = map_values(weighted, lambda v: v * 2)
+        assert doubled.total_value == pytest.approx(2 * weighted.total_value)
+
+
+class TestRestrictPorts:
+    def test_subswitch_dimensions(self, base):
+        sub = restrict_ports(base, inputs=[0, 2], outputs=[1])
+        assert sub.n_in == 2 and sub.n_out == 1
+        assert all(p.dst == 0 for p in sub.packets)
+
+    def test_only_matching_packets_kept(self, base):
+        sub = restrict_ports(base, inputs=[0], outputs=[0, 1, 2])
+        expected = sum(1 for p in base.packets if p.src == 0)
+        assert len(sub) == expected
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            restrict_ports(base, inputs=[], outputs=[0])
+        with pytest.raises(ValueError):
+            restrict_ports(base, inputs=[9], outputs=[0])
+
+
+class TestTimeDilate:
+    def test_arrivals_spread(self, base):
+        slow = time_dilate(base, 3)
+        assert slow.n_slots == (base.n_slots - 1) * 3 + 1
+        assert len(slow) == len(base)
+
+    def test_dilation_never_hurts_throughput(self, base):
+        config = SwitchConfig.square(3, b_in=1, b_out=1)
+        fast = run_cioq(GMPolicy(), config, base)
+        slow = run_cioq(GMPolicy(), config, time_dilate(base, 2))
+        assert slow.n_sent >= fast.n_sent
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            time_dilate(base, 0)

@@ -4,6 +4,14 @@ Not a paper experiment — substrate performance numbers for users sizing
 their own sweeps: slots/second of the full phase-faithful engine (GM on
 a loaded 8x8 switch, CGU on the crossbar) and the exact-OPT solve time
 on a typical ratio-experiment instance.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_engine.py --benchmark-only`` — full
+  pytest-benchmark statistics;
+* ``python benchmarks/bench_engine.py [--quick]`` — standalone timing
+  loop printing ms/run and slots/s per workload (``--quick`` does one
+  warm-up plus three reps; used as the CI smoke benchmark).
 """
 
 import pytest
@@ -48,3 +56,42 @@ def test_exact_opt_solve(benchmark):
         cioq_opt, args=(OPT_TRACE, OPT_CONFIG), rounds=3, iterations=1
     )
     assert result.benefit > 0
+
+
+def main(argv=None):
+    """Standalone timing mode: ``python benchmarks/bench_engine.py``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="3 reps instead of 20 (CI smoke run)")
+    args = parser.parse_args(argv)
+    reps = 3 if args.quick else 20
+
+    workloads = [
+        ("GM  8x8 cioq    ", lambda: run_cioq(GMPolicy(), CONFIG8, TRACE8)),
+        ("PG  8x8 cioq    ", lambda: run_cioq(PGPolicy(), CONFIG8, WTRACE8)),
+        ("CGU 8x8 crossbar", lambda: run_crossbar(CGUPolicy(), CONFIG8, TRACE8)),
+    ]
+    print(f"engine benchmark ({reps} reps, 100 arrival slots, load 1.2):")
+    for label, fn in workloads:
+        result = fn()  # warm-up; also sanity-checks the run
+        result.check_conservation()
+        best = min(
+            _timed(fn, time.perf_counter) for _ in range(reps)
+        )
+        print(f"  {label}  {best * 1e3:7.2f} ms/run  "
+              f"{result.n_arrival_slots / best:9.0f} arrival-slots/s  "
+              f"benefit={result.benefit:g}")
+    return 0
+
+
+def _timed(fn, clock):
+    t0 = clock()
+    fn()
+    return clock() - t0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ from repro.traffic.values import pareto_values, unit_values
 from conftest import run_once
 
 
-def compute_tables():
+def compute_tables(executor=None):
     base = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
     unit_rows = buffer_sweep_crossbar(
         CGUPolicy,
@@ -28,6 +28,7 @@ def compute_tables():
         b_cross_values=[1, 2, 4],
         base_config=base,
         seeds=(0, 1),
+        executor=executor,
     )
     weighted_rows = buffer_sweep_crossbar(
         CPGPolicy,
@@ -36,12 +37,14 @@ def compute_tables():
         b_cross_values=[1, 2, 4],
         base_config=base,
         seeds=(0, 1),
+        executor=executor,
     )
     return unit_rows, weighted_rows
 
 
-def test_t10_crossbar_buffer_sweep(benchmark, emit):
-    unit_rows, weighted_rows = run_once(benchmark, compute_tables)
+def test_t10_crossbar_buffer_sweep(benchmark, emit, sweep_executor):
+    unit_rows, weighted_rows = run_once(benchmark, compute_tables,
+                                        sweep_executor)
     emit("\n" + format_table(
         unit_rows,
         title="T10a - CGU benefit/ratio vs crosspoint capacity B(C) "

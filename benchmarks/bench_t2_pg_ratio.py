@@ -59,13 +59,13 @@ def compute_ratio_rows():
     return rows, summarize(measurements)
 
 
-def compute_beta_sweep():
+def compute_beta_sweep(executor=None):
     config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
     trace = BernoulliTraffic(
         3, 3, load=1.5, value_model=two_value(20, 0.3)
     ).generate(25, seed=11)
     betas = [1.05, 1.2, 1.5, 2.0, pg_optimal_beta(), 3.0, 5.0, 10.0]
-    rows = beta_sweep_pg(trace, config, betas)
+    rows = beta_sweep_pg(trace, config, betas, executor=executor)
     for r in rows:
         r["analysis bound"] = round(pg_ratio(r["beta"]), 3)
     return rows
@@ -82,8 +82,8 @@ def test_t2_pg_ratio_table(benchmark, emit):
     assert summary["all_within_bound"]
 
 
-def test_t2_pg_beta_sweep(benchmark, emit):
-    rows = run_once(benchmark, compute_beta_sweep)
+def test_t2_pg_beta_sweep(benchmark, emit, sweep_executor):
+    rows = run_once(benchmark, compute_beta_sweep, sweep_executor)
     emit("\n" + format_table(
         rows,
         title="T2b - PG beta sweep (two-value traffic): measured ratio vs "

@@ -55,7 +55,7 @@ def compute_ratio_rows():
     return rows, summarize(measurements)
 
 
-def compute_grid():
+def compute_grid(executor=None):
     beta_star, alpha_star, _ = cpg_optimal_params()
     config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
     trace = BernoulliTraffic(
@@ -63,7 +63,8 @@ def compute_grid():
     ).generate(18, seed=9)
     betas = [1.3, beta_star, 3.0]
     alphas = [1.5, alpha_star, 5.0]
-    rows = threshold_sweep_cpg(trace, config, betas, alphas)
+    rows = threshold_sweep_cpg(trace, config, betas, alphas,
+                               executor=executor)
     for r in rows:
         r["analysis bound"] = round(cpg_ratio(r["beta"], r["alpha"]), 3)
     return rows
@@ -80,8 +81,8 @@ def test_t4_cpg_ratio_table(benchmark, emit):
     assert summary["all_within_bound"]
 
 
-def test_t4_cpg_threshold_grid(benchmark, emit):
-    rows = run_once(benchmark, compute_grid)
+def test_t4_cpg_threshold_grid(benchmark, emit, sweep_executor):
+    rows = run_once(benchmark, compute_grid, sweep_executor)
     emit("\n" + format_table(
         rows,
         title="T4b - CPG (beta, alpha) grid: measured ratio vs analytical "

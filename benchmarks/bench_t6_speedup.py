@@ -23,7 +23,7 @@ from repro.traffic.hotspot import HotspotTraffic
 from conftest import run_once
 
 
-def compute_rows():
+def compute_rows(executor=None):
     base = SwitchConfig.square(4, b_in=2, b_out=2)
     traffic = HotspotTraffic(4, 4, load=1.3, hot_fraction=0.5)
     rows = speedup_sweep(
@@ -38,12 +38,13 @@ def compute_rows():
         speedups=[1, 2, 3, 4],
         base_config=base,
         seeds=(0, 1),
+        executor=executor,
     )
     return rows
 
 
-def test_t6_speedup_table(benchmark, emit):
-    rows = run_once(benchmark, compute_rows)
+def test_t6_speedup_table(benchmark, emit, sweep_executor):
+    rows = run_once(benchmark, compute_rows, sweep_executor)
     emit("\n" + format_table(
         rows,
         title="T6 - packets delivered vs fabric speedup "

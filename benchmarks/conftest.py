@@ -13,7 +13,25 @@ reproduces the evaluation in the console.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.parallel import SweepExecutor
+
+
+@pytest.fixture(scope="session")
+def sweep_executor():
+    """Shared executor for the table benchmarks' sweep calls.
+
+    Serial by default (so timings stay comparable); set
+    ``REPRO_BENCH_WORKERS=N`` to fan sweep points out over N processes
+    and ``REPRO_BENCH_CACHE=DIR`` to reuse point payloads across runs.
+    Results are bit-identical either way.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    return SweepExecutor(workers=workers, cache_dir=cache_dir)
 
 
 @pytest.fixture

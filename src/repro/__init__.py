@@ -62,6 +62,7 @@ from .scheduling import (
     RandomMatchPolicy,
     RoundRobinPolicy,
 )
+from .parallel import SweepExecutor, SweepPoint, run_sweep_point
 from .simulation import SimulationResult, run_cioq, run_crossbar
 from .switch import (
     CIOQSwitch,
@@ -115,6 +116,10 @@ __all__ = [
     "run_cioq",
     "run_crossbar",
     "SimulationResult",
+    # parallel sweep substrate
+    "SweepExecutor",
+    "SweepPoint",
+    "run_sweep_point",
     # switch
     "SwitchConfig",
     "Packet",

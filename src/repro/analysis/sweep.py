@@ -1,19 +1,29 @@
 """Parameter-sweep drivers for the experiment suite.
 
-Thin, deterministic grid-sweep helpers shared by the benchmark modules:
-each returns plain list-of-dict rows ready for
+Deterministic grid-sweep helpers shared by the benchmark modules: each
+returns plain list-of-dict rows ready for
 :func:`repro.analysis.report.format_table`.
+
+Every sweep decomposes into independent
+:class:`~repro.parallel.SweepPoint` units and runs through a
+:class:`~repro.parallel.SweepExecutor`, so callers can fan the points
+out over a worker pool (and reuse cached payloads) by passing
+``executor=SweepExecutor(workers=N, cache_dir=...)``.  With the default
+serial executor the rows are identical to what the pre-parallel
+implementation produced — and, because points are pure and ordered, they
+are also bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from functools import partial
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.pg import PGPolicy
 from ..core.cpg import CPGPolicy
 from ..offline.opt import cioq_opt, crossbar_opt
-from ..simulation.engine import run_cioq, run_crossbar
+from ..parallel import SweepExecutor, SweepPoint
 from ..switch.config import SwitchConfig
 from ..traffic.base import TrafficModel
 from ..traffic.trace import Trace
@@ -29,11 +39,16 @@ def grid(**params: Sequence) -> List[Dict]:
     return out
 
 
+def _executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    return executor if executor is not None else SweepExecutor()
+
+
 def beta_sweep_pg(
     trace: Trace,
     config: SwitchConfig,
     betas: Iterable[float],
     opt_benefit: float = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict]:
     """PG benefit and ratio as a function of the preemption threshold.
 
@@ -43,19 +58,29 @@ def beta_sweep_pg(
     """
     if opt_benefit is None:
         opt_benefit = cioq_opt(trace, config).benefit
+    betas = list(betas)
+    points = [
+        SweepPoint(
+            model="cioq",
+            config=config,
+            trace=trace,
+            policy_factory=partial(PGPolicy, beta=float(beta)),
+        )
+        for beta in betas
+    ]
     rows: List[Dict] = []
-    for beta in betas:
-        onl = run_cioq(PGPolicy(beta=beta), config, trace)
+    for beta, payload in zip(betas, _executor(executor).run(points)):
+        benefit = payload["benefit"]
         rows.append(
             {
                 "beta": round(float(beta), 4),
-                "pg_benefit": round(onl.benefit, 3),
+                "pg_benefit": round(benefit, 3),
                 "opt_benefit": round(opt_benefit, 3),
-                "ratio": round(opt_benefit / onl.benefit, 4)
-                if onl.benefit > 0
+                "ratio": round(opt_benefit / benefit, 4)
+                if benefit > 0
                 else float("inf"),
-                "preempted": onl.n_preempted,
-                "rejected": onl.n_rejected,
+                "preempted": payload["n_preempted"],
+                "rejected": payload["n_rejected"],
             }
         )
     return rows
@@ -67,26 +92,36 @@ def threshold_sweep_cpg(
     betas: Iterable[float],
     alphas: Iterable[float],
     opt_benefit: float = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict]:
     """CPG benefit over a (beta, alpha) grid (T4/T9)."""
     if opt_benefit is None:
         opt_benefit = crossbar_opt(trace, config).benefit
+    cells = [(beta, alpha) for beta in betas for alpha in alphas]
+    points = [
+        SweepPoint(
+            model="crossbar",
+            config=config,
+            trace=trace,
+            policy_factory=partial(CPGPolicy, beta=float(beta), alpha=float(alpha)),
+        )
+        for beta, alpha in cells
+    ]
     rows: List[Dict] = []
-    for beta in betas:
-        for alpha in alphas:
-            onl = run_crossbar(CPGPolicy(beta=beta, alpha=alpha), config, trace)
-            rows.append(
-                {
-                    "beta": round(float(beta), 4),
-                    "alpha": round(float(alpha), 4),
-                    "cpg_benefit": round(onl.benefit, 3),
-                    "opt_benefit": round(opt_benefit, 3),
-                    "ratio": round(opt_benefit / onl.benefit, 4)
-                    if onl.benefit > 0
-                    else float("inf"),
-                    "preempted": onl.n_preempted,
-                }
-            )
+    for (beta, alpha), payload in zip(cells, _executor(executor).run(points)):
+        benefit = payload["benefit"]
+        rows.append(
+            {
+                "beta": round(float(beta), 4),
+                "alpha": round(float(alpha), 4),
+                "cpg_benefit": round(benefit, 3),
+                "opt_benefit": round(opt_benefit, 3),
+                "ratio": round(opt_benefit / benefit, 4)
+                if benefit > 0
+                else float("inf"),
+                "preempted": payload["n_preempted"],
+            }
+        )
     return rows
 
 
@@ -99,13 +134,19 @@ def speedup_sweep(
     seeds: Iterable[int] = (0,),
     model: str = "cioq",
     include_opt: bool = True,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict]:
     """Throughput of several policies as speedup varies (T6).
 
     Every (speedup, seed) cell reruns each policy on the same trace; the
     exact OPT column is included when ``include_opt``.
     """
-    rows: List[Dict] = []
+    seeds = list(seeds)
+    traces = {seed: traffic.generate(n_slots, seed=seed) for seed in seeds}
+    names = list(policy_factories.keys())
+
+    cells = []
+    points: List[SweepPoint] = []
     for s in speedups:
         config = SwitchConfig(
             n_in=base_config.n_in,
@@ -116,22 +157,34 @@ def speedup_sweep(
             b_cross=base_config.b_cross,
         )
         for seed in seeds:
-            trace = traffic.generate(n_slots, seed=seed)
-            row: Dict = {"speedup": int(s), "seed": seed,
-                         "arrived": len(trace)}
-            for name, factory in policy_factories.items():
-                policy = factory()
-                if model == "cioq":
-                    res = run_cioq(policy, config, trace)
-                else:
-                    res = run_crossbar(policy, config, trace)
-                row[name] = round(res.benefit, 3)
+            cells.append((int(s), seed))
+            trace = traces[seed]
+            for name in names:
+                points.append(
+                    SweepPoint(
+                        model=model,
+                        config=config,
+                        trace=trace,
+                        policy_factory=policy_factories[name],
+                        seed=seed,
+                    )
+                )
             if include_opt:
-                if model == "cioq":
-                    row["OPT"] = round(cioq_opt(trace, config).benefit, 3)
-                else:
-                    row["OPT"] = round(crossbar_opt(trace, config).benefit, 3)
-            rows.append(row)
+                points.append(
+                    SweepPoint(
+                        model=model, config=config, trace=trace, seed=seed
+                    )
+                )
+
+    payloads = iter(_executor(executor).run(points))
+    rows: List[Dict] = []
+    for s, seed in cells:
+        row: Dict = {"speedup": s, "seed": seed, "arrived": len(traces[seed])}
+        for name in names:
+            row[name] = round(next(payloads)["benefit"], 3)
+        if include_opt:
+            row["OPT"] = round(next(payloads)["benefit"], 3)
+        rows.append(row)
     return rows
 
 
@@ -142,9 +195,14 @@ def buffer_sweep_crossbar(
     b_cross_values: Iterable[int],
     base_config: SwitchConfig,
     seeds: Iterable[int] = (0,),
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict]:
     """Crossbar benefit as crosspoint buffer capacity varies (T10)."""
-    rows: List[Dict] = []
+    seeds = list(seeds)
+    traces = {seed: traffic.generate(n_slots, seed=seed) for seed in seeds}
+
+    cells = []
+    points: List[SweepPoint] = []
     for bc in b_cross_values:
         config = SwitchConfig(
             n_in=base_config.n_in,
@@ -155,20 +213,38 @@ def buffer_sweep_crossbar(
             b_cross=int(bc),
         )
         for seed in seeds:
-            trace = traffic.generate(n_slots, seed=seed)
-            res = run_crossbar(policy_factory(), config, trace)
-            opt = crossbar_opt(trace, config)
-            rows.append(
-                {
-                    "b_cross": int(bc),
-                    "seed": seed,
-                    "benefit": round(res.benefit, 3),
-                    "opt": round(opt.benefit, 3),
-                    "ratio": round(opt.benefit / res.benefit, 4)
-                    if res.benefit > 0
-                    else float("inf"),
-                }
+            cells.append((int(bc), seed))
+            points.append(
+                SweepPoint(
+                    model="crossbar",
+                    config=config,
+                    trace=traces[seed],
+                    policy_factory=policy_factory,
+                    seed=seed,
+                )
             )
+            points.append(
+                SweepPoint(
+                    model="crossbar", config=config, trace=traces[seed], seed=seed
+                )
+            )
+
+    payloads = iter(_executor(executor).run(points))
+    rows: List[Dict] = []
+    for bc, seed in cells:
+        benefit = next(payloads)["benefit"]
+        opt_benefit = next(payloads)["benefit"]
+        rows.append(
+            {
+                "b_cross": bc,
+                "seed": seed,
+                "benefit": round(benefit, 3),
+                "opt": round(opt_benefit, 3),
+                "ratio": round(opt_benefit / benefit, 4)
+                if benefit > 0
+                else float("inf"),
+            }
+        )
     return rows
 
 

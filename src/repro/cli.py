@@ -11,6 +11,11 @@ Commands
 ``ratio``
     Measure the empirical competitive ratio of a policy against the
     exact offline optimum.
+``sweep``
+    Run a (load x seed) grid of simulations for several policies —
+    optionally fanned out over ``--workers`` processes and cached on
+    disk via ``--cache-dir`` — and print per-cell plus per-load
+    aggregate tables.  Results are bit-identical for any worker count.
 ``constants``
     Print the paper's analytical constants with numerical verification.
 
@@ -19,6 +24,8 @@ Examples::
     python -m repro.cli run --policy pg --model cioq --n 4 --load 1.3 \
         --values pareto --slots 50 --seed 3 --delays
     python -m repro.cli ratio --policy gm --n 3 --load 1.2 --slots 20
+    python -m repro.cli sweep --policies gm,maxmatch --loads 0.8,1.0,1.2 \
+        --seeds 4 --slots 30 --workers 4
     python -m repro.cli figures --n 3
 """
 
@@ -88,18 +95,19 @@ def _build_config(args) -> SwitchConfig:
     )
 
 
-def _build_traffic(args):
+def _build_traffic(args, load=None):
+    load = args.load if load is None else load
     values = VALUE_MODELS[args.values]()
     if args.traffic == "bernoulli":
-        return BernoulliTraffic(args.n, args.n, load=args.load,
+        return BernoulliTraffic(args.n, args.n, load=load,
                                 value_model=values)
     if args.traffic == "bursty":
-        return BurstyTraffic(args.n, args.n, burst_load=max(args.load, 0.1) * 2,
+        return BurstyTraffic(args.n, args.n, burst_load=max(load, 0.1) * 2,
                              value_model=values)
     if args.traffic == "hotspot":
-        return HotspotTraffic(args.n, args.n, load=args.load,
+        return HotspotTraffic(args.n, args.n, load=load,
                               hot_fraction=0.6, value_model=values)
-    return DiagonalTraffic(args.n, args.n, load=args.load, value_model=values)
+    return DiagonalTraffic(args.n, args.n, load=load, value_model=values)
 
 
 def _make_policy(name: str, model: str, beta: Optional[float]):
@@ -163,6 +171,86 @@ def cmd_ratio(args) -> int:
     return 0 if m.within_bound else 1
 
 
+def cmd_sweep(args) -> int:
+    from functools import partial
+
+    from .parallel import SweepExecutor, SweepPoint
+
+    table = CIOQ_POLICIES if args.model == "cioq" else CROSSBAR_POLICIES
+    names = [p.strip() for p in args.policies.split(",") if p.strip()]
+    factories = {}
+    for name in names:
+        if name not in table:
+            raise SystemExit(
+                f"unknown policy {name!r} for model {args.model}; choose "
+                f"from {sorted(table)}"
+            )
+        cls, _bound = table[name]
+        if name == "pg" and args.beta:
+            factories[name] = partial(cls, beta=args.beta)
+        else:
+            factories[name] = cls
+
+    loads = [float(x) for x in args.loads.split(",") if x.strip()]
+    seeds = list(range(args.seeds))
+    config = _build_config(args)
+
+    # One point per (load, seed, policy) — plus OPT when requested.
+    # Traces are generated here with deterministic per-cell seeds, so the
+    # point list (and therefore every table below) is independent of the
+    # worker count.
+    cells = []
+    points = []
+    for load in loads:
+        traffic = _build_traffic(args, load=load)
+        for seed in seeds:
+            trace = traffic.generate(args.slots, seed=seed)
+            cells.append((load, seed, len(trace)))
+            for name in names:
+                points.append(
+                    SweepPoint(model=args.model, config=config, trace=trace,
+                               policy_factory=factories[name], seed=seed)
+                )
+            if args.opt:
+                points.append(
+                    SweepPoint(model=args.model, config=config, trace=trace,
+                               seed=seed)
+                )
+
+    ex = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir)
+    payloads = iter(ex.run(points))
+    columns = names + (["OPT"] if args.opt else [])
+    rows = []
+    for load, seed, arrived in cells:
+        row = {"load": round(load, 3), "seed": seed, "arrived": arrived}
+        for name in columns:
+            row[name] = round(next(payloads)["benefit"], 3)
+        rows.append(row)
+    print(format_table(
+        rows,
+        title=f"sweep: {args.model} {args.n}x{args.n}, {args.slots} slots, "
+              f"{len(points)} points",
+    ))
+
+    agg_rows = []
+    # Group by position, not by the (rounded) load value: each load
+    # contributed exactly len(seeds) consecutive rows, and distinct
+    # loads may round to the same display value.
+    for k, load in enumerate(loads):
+        cell_rows = rows[k * len(seeds):(k + 1) * len(seeds)]
+        if not cell_rows:  # e.g. --seeds 0
+            continue
+        agg = {"load": round(load, 3)}
+        for name in columns:
+            agg[name] = round(sum(r[name] for r in cell_rows) / len(cell_rows), 3)
+        agg_rows.append(agg)
+    print(format_table(agg_rows, title="per-load mean benefit"))
+    if ex.cache_dir:
+        print(f"cache: {ex.cache_hits} hits, {ex.cache_misses} misses "
+              f"({ex.cache_dir})")
+    return 0
+
+
 def cmd_constants(args) -> int:
     from .theory.ratios import verify_paper_constants
 
@@ -214,6 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_ratio)
     p_ratio.add_argument("--policy", default="gm")
     p_ratio.set_defaults(func=cmd_ratio)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="grid sweep over loads and seeds (parallel with --workers)",
+    )
+    _add_common(p_sweep)
+    p_sweep.add_argument("--policies", default="gm",
+                         help="comma-separated policy names")
+    p_sweep.add_argument("--loads", default="0.8,1.0,1.2",
+                         help="comma-separated offered loads")
+    p_sweep.add_argument("--seeds", type=int, default=3,
+                         help="number of seeds (0..N-1) per cell")
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="worker processes (<=1: serial)")
+    p_sweep.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="on-disk result cache directory")
+    p_sweep.add_argument("--opt", action="store_true",
+                         help="include the exact-OPT column")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

@@ -49,7 +49,8 @@ class CGUPolicy(CrossbarPolicy):
         self._cycle_count = 0
 
     def on_arrival(self, switch: CrossbarSwitch, packet: Packet) -> ArrivalDecision:
-        if switch.voq[packet.src][packet.dst].is_full:
+        q = switch.voq[packet.src][packet.dst]
+        if len(q._items) >= q.capacity:
             return ArrivalDecision.reject()
         return ArrivalDecision.accepted()
 
@@ -58,15 +59,22 @@ class CGUPolicy(CrossbarPolicy):
     ) -> List[InputTransfer]:
         n_out = switch.n_out
         offset = self._cycle_count % n_out if self.rotate else 0
+        # Rotated first-eligible scan order, precomputed once per cycle.
+        order = range(n_out) if offset == 0 else (
+            *range(offset, n_out), *range(offset))
         transfers: List[InputTransfer] = []
-        for i in range(switch.n_in):
-            for dj in range(n_out):
-                j = (offset + dj) % n_out
-                if not switch.voq[i][j].is_empty and not switch.cross[i][j].is_full:
-                    head = switch.voq[i][j].head()
-                    assert head is not None
-                    transfers.append(InputTransfer(i, j, head))
-                    break
+        append = transfers.append
+        # Hot loop: reads queue internals directly (see BoundedQueue docs).
+        cross = switch.cross
+        for i, vrow in enumerate(switch.voq):
+            crow = cross[i]
+            for j in order:
+                items = vrow[j]._items
+                if items:
+                    cq = crow[j]
+                    if len(cq._items) < cq.capacity:
+                        append(InputTransfer(i, j, items[-1]))
+                        break
         return transfers
 
     def output_subphase(
@@ -75,15 +83,17 @@ class CGUPolicy(CrossbarPolicy):
         n_in = switch.n_in
         offset = self._cycle_count % n_in if self.rotate else 0
         self._cycle_count += 1
+        order = range(n_in) if offset == 0 else (
+            *range(offset, n_in), *range(offset))
         transfers: List[OutputTransfer] = []
-        for j in range(switch.n_out):
-            if switch.out[j].is_full:
+        append = transfers.append
+        cross = switch.cross
+        for j, oq in enumerate(switch.out):
+            if len(oq._items) >= oq.capacity:
                 continue
-            for di in range(n_in):
-                i = (offset + di) % n_in
-                if not switch.cross[i][j].is_empty:
-                    head = switch.cross[i][j].head()
-                    assert head is not None
-                    transfers.append(OutputTransfer(i, j, head))
+            for i in order:
+                items = cross[i][j]._items
+                if items:
+                    append(OutputTransfer(i, j, items[-1]))
                     break
         return transfers

@@ -55,7 +55,7 @@ class GMPolicy(CIOQPolicy):
 
     def on_arrival(self, switch: CIOQSwitch, packet: Packet) -> ArrivalDecision:
         q = switch.voq[packet.src][packet.dst]
-        if q.is_full:
+        if len(q._items) >= q.capacity:
             return ArrivalDecision.reject()
         return ArrivalDecision.accepted()
 
@@ -66,18 +66,31 @@ class GMPolicy(CIOQPolicy):
 
         # Induced bipartite graph G_{T[s]}: edge (i, j) iff Q_ij non-empty
         # and Q_j not full, scanned row-major from the rotating offset.
+        # Hot loop: reads queue internals directly (see BoundedQueue docs).
+        voq = switch.voq
+        eligible_j = [
+            j for j, q in enumerate(switch.out) if len(q._items) < q.capacity
+        ]
+        order = range(n_in) if offset == 0 else (
+            *range(offset, n_in), *range(offset))
         edges = []
-        for di in range(n_in):
-            i = (offset + di) % n_in
-            row = switch.voq[i]
-            for j in range(n_out):
-                if not row[j].is_empty and not switch.out[j].is_full:
-                    edges.append((i, j))
+        append = edges.append
+        for i in order:
+            row = voq[i]
+            for j in eligible_j:
+                if row[j]._items:
+                    append((i, j))
 
-        matching = greedy_maximal_matching(edges, stats=self.stats)
-        transfers: List[Transfer] = []
-        for i, j in matching:
-            head = switch.voq[i][j].head()
-            assert head is not None
-            transfers.append(Transfer(i, j, head))
-        return transfers
+        if self.stats is not None:
+            matching = greedy_maximal_matching(edges, stats=self.stats)
+        else:
+            # Same single pass, without the instrumentation indirection.
+            matched_left = set()
+            matched_right = set()
+            matching = []
+            for i, j in edges:
+                if i not in matched_left and j not in matched_right:
+                    matched_left.add(i)
+                    matched_right.add(j)
+                    matching.append((i, j))
+        return [Transfer(i, j, voq[i][j]._items[-1]) for i, j in matching]

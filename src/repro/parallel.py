@@ -1,0 +1,250 @@
+"""Parallel sweep execution: worker pools and an on-disk result cache.
+
+The experiment suite is dominated by *sweeps*: hundreds of independent
+(policy, switch config, trace) simulation points, each a pure function
+of its inputs, previously run strictly serially.  This module provides
+the fan-out substrate:
+
+* :class:`SweepPoint` — one self-contained unit of work: simulate a
+  policy (or solve the exact offline optimum) on a concrete trace and
+  config.  Points carry concrete :class:`~repro.traffic.trace.Trace`
+  objects (generated in the parent with deterministic per-point seeds)
+  because traffic models hold value-model closures that do not pickle.
+* :func:`run_sweep_point` — executes one point and returns a plain,
+  JSON-serializable payload dict (the fields sweep tables consume).
+* :class:`SweepExecutor` — maps points over a ``multiprocessing`` pool
+  with chunked dispatch, optionally backed by an on-disk cache keyed by
+  (policy spec, config, trace content, seed).  With ``workers <= 1``
+  everything runs in-process.
+
+Determinism: a point's payload depends only on the point, every point
+carries its own seed-derived trace, and results are returned in point
+order regardless of worker scheduling — so a sweep produces bit-identical
+tables for any worker count (the ``repro sweep`` CLI exposes exactly
+this guarantee).
+
+Used by :mod:`repro.analysis.sweep`, the ``bench_t*.py`` experiment
+drivers (via ``benchmarks/conftest.py``), and the ``repro sweep`` CLI
+command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from functools import partial
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from .offline.opt import cioq_opt, crossbar_opt
+from .simulation.engine import run_cioq, run_crossbar
+from .switch.config import SwitchConfig
+from .traffic.trace import Trace
+
+#: Bump when the payload schema changes; part of every cache key.
+CACHE_VERSION = 1
+
+PolicyFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of sweep work: a policy (or OPT) on a concrete trace.
+
+    Parameters
+    ----------
+    model:
+        ``"cioq"`` or ``"crossbar"``.
+    config, trace:
+        The switch instance and the input sequence σ.
+    policy_factory:
+        Zero-argument callable building a *fresh* policy (a policy
+        class, or ``functools.partial`` with keyword parameters — both
+        pickle across process boundaries; lambdas do not).  ``None``
+        means "solve the exact offline optimum instead".
+    seed:
+        The seed the trace was generated from (part of the cache key;
+        purely informational for hand-built traces).
+    tag:
+        Row metadata echoed back untouched into the payload under
+        ``"tag"`` — sweep drivers use it to route payloads into table
+        rows.
+    """
+
+    model: str
+    config: SwitchConfig
+    trace: Trace
+    policy_factory: Optional[PolicyFactory] = None
+    seed: Optional[int] = None
+    tag: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.model not in ("cioq", "crossbar"):
+            raise ValueError(f"unknown switch model {self.model!r}")
+
+
+def describe_factory(factory: Optional[PolicyFactory]) -> str:
+    """Stable textual description of a policy factory (cache key part)."""
+    if factory is None:
+        return "OPT"
+    if isinstance(factory, partial):
+        inner = describe_factory(factory.func)
+        kwargs = ",".join(f"{k}={v!r}" for k, v in sorted(factory.keywords.items()))
+        args = ",".join(repr(a) for a in factory.args)
+        return f"{inner}({args};{kwargs})"
+    mod = getattr(factory, "__module__", "")
+    qual = getattr(factory, "__qualname__", None)
+    if qual:
+        return f"{mod}.{qual}"
+    return repr(factory)  # pragma: no cover - exotic factories defeat caching
+
+
+def run_sweep_point(point: SweepPoint) -> Dict[str, object]:
+    """Execute one sweep point; pure function of the point.
+
+    Returns a JSON-serializable payload.  For policy points::
+
+        {"policy", "benefit", "n_sent", "n_arrived", "n_accepted",
+         "n_rejected", "n_preempted", "n_residual", "value_arrived",
+         "seed", "tag"}
+
+    For OPT points (``policy_factory is None``)::
+
+        {"policy": "OPT", "benefit", "seed", "tag"}
+    """
+    tag = dict(point.tag)
+    if point.policy_factory is None:
+        solver = cioq_opt if point.model == "cioq" else crossbar_opt
+        opt = solver(point.trace, point.config)
+        return {"policy": "OPT", "benefit": opt.benefit,
+                "seed": point.seed, "tag": tag}
+    policy = point.policy_factory()
+    runner = run_cioq if point.model == "cioq" else run_crossbar
+    res = runner(policy, point.config, point.trace)
+    return {
+        "policy": res.policy_name,
+        "benefit": res.benefit,
+        "n_sent": res.n_sent,
+        "n_arrived": res.n_arrived,
+        "n_accepted": res.n_accepted,
+        "n_rejected": res.n_rejected,
+        "n_preempted": res.n_preempted,
+        "n_residual": res.n_residual,
+        "value_arrived": res.value_arrived,
+        "seed": point.seed,
+        "tag": tag,
+    }
+
+
+class SweepExecutor:
+    """Runs sweep points, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``<= 1`` (the default) runs in-process; ``N >
+        1`` fans uncached points out over a ``multiprocessing`` pool in
+        deterministic chunks.
+    cache_dir:
+        Directory for the on-disk payload cache (created on demand).
+        ``None`` disables caching.  Keys cover the policy spec, the
+        switch config, the full trace content, the point seed and
+        :data:`CACHE_VERSION`, so any input change misses cleanly.
+    chunk_size:
+        Tasks per pool chunk; default ``ceil(pending / (4 * workers))``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = int(workers or 0)
+        self.cache_dir = cache_dir
+        self.chunk_size = chunk_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache ---------------------------------------------------------------
+
+    def cache_key(self, point: SweepPoint) -> str:
+        c = point.config
+        spec = {
+            "v": CACHE_VERSION,
+            "model": point.model,
+            "config": [c.n_in, c.n_out, c.speedup, c.b_in, c.b_out, c.b_cross],
+            "policy": describe_factory(point.policy_factory),
+            "trace": hashlib.sha256(
+                point.trace.to_json().encode("utf-8")
+            ).hexdigest(),
+            "seed": point.seed,
+        }
+        blob = json.dumps(spec, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._cache_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def _cache_put(self, key: str, payload: Dict[str, object]) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(key)
+        # Atomic publish so concurrent sweeps never read torn files.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> List[Dict[str, object]]:
+        """Execute ``points``; returns payloads in point order."""
+        results: List[Optional[Dict[str, object]]] = [None] * len(points)
+        caching = self.cache_dir is not None
+        # Keys are hashed once per point (they serialize the full trace).
+        keys = [self.cache_key(p) for p in points] if caching else None
+        pending: List[int] = []
+        for idx in range(len(points)):
+            hit = self._cache_get(keys[idx]) if caching else None
+            if hit is not None:
+                self.cache_hits += 1
+                results[idx] = hit
+            else:
+                pending.append(idx)
+        self.cache_misses += len(pending)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                payloads = self._run_pool([points[i] for i in pending])
+            else:
+                payloads = [run_sweep_point(points[i]) for i in pending]
+            for idx, payload in zip(pending, payloads):
+                if caching:
+                    self._cache_put(keys[idx], payload)
+                results[idx] = payload
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, points: List[SweepPoint]) -> List[Dict[str, object]]:
+        workers = min(self.workers, len(points))
+        chunk = self.chunk_size or -(-len(points) // (4 * workers))
+        ctx = get_context()
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(run_sweep_point, points, chunksize=max(1, chunk))

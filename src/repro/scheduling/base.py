@@ -28,13 +28,16 @@ from ..switch.crossbar import greedy_head_transmissions as crossbar_head_transmi
 from ..switch.packet import Packet
 
 
-@dataclass
+@dataclass(frozen=True)
 class ArrivalDecision:
     """Outcome of the arrival phase for one packet.
 
     ``accept=False`` means the packet is rejected (discarded on arrival).
     ``preempt`` optionally names a packet currently in the same VOQ that
     is discarded to make room (PG/CPG arrival rule).
+
+    Frozen: the two parameter-free cases are shared singletons, so
+    instances must never be mutated after construction.
     """
 
     accept: bool
@@ -42,11 +45,19 @@ class ArrivalDecision:
 
     @classmethod
     def reject(cls) -> "ArrivalDecision":
-        return cls(accept=False)
+        return _REJECT
 
     @classmethod
     def accepted(cls, preempt: Optional[Packet] = None) -> "ArrivalDecision":
+        if preempt is None:
+            return _ACCEPT
         return cls(accept=True, preempt=preempt)
+
+
+# The two parameter-free cases occur once per arriving packet — shared
+# (frozen) instances keep the arrival phase allocation-free.
+_REJECT = ArrivalDecision(accept=False)
+_ACCEPT = ArrivalDecision(accept=True)
 
 
 class CIOQPolicy(ABC):

@@ -1,6 +1,8 @@
-"""Simulation substrate: the discrete-time engine and result records."""
+"""Simulation substrate: the fast slot-loop kernel, the engine entry
+points, and result records."""
 
 from .engine import drain_bound, run_cioq, run_cioq_streaming, run_crossbar
+from .kernel import NULL_RECORDER, LogRecorder, NullRecorder, run_slot_loop
 from .results import SimulationResult, TransferEvent
 
 __all__ = [
@@ -8,6 +10,10 @@ __all__ = [
     "run_cioq",
     "run_cioq_streaming",
     "run_crossbar",
+    "run_slot_loop",
+    "LogRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
     "SimulationResult",
     "TransferEvent",
 ]

@@ -20,19 +20,25 @@ flowing forward because output queues drain).
 The engine validates every policy decision against the switch's
 feasibility rules, counts all losses, and asserts conservation at the
 end of each run.
+
+The three entry points below are thin wrappers: they build the switch
+and the arrival source, then delegate to the shared fast slot loop in
+:mod:`repro.simulation.kernel` (see that module for the performance
+model).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..scheduling.base import CIOQPolicy, CrossbarPolicy
-from ..switch.cioq import CIOQSwitch, ScheduleError
+from ..switch.cioq import CIOQSwitch
 from ..switch.config import SwitchConfig
 from ..switch.crossbar import CrossbarSwitch
 from ..switch.packet import Packet
 from ..traffic.trace import Trace
-from .results import SimulationResult, TransferEvent
+from .kernel import NULL_RECORDER, LogRecorder, run_slot_loop
+from .results import SimulationResult
 
 ArrivalSpec = Tuple[int, int, float]
 
@@ -46,43 +52,23 @@ def drain_bound(config: SwitchConfig) -> int:
     return total_capacity + 1
 
 
-def _apply_arrival(
-    switch, policy, packet: Packet, result: SimulationResult
-) -> None:
-    """Process one arrival event: ask the policy, apply and account."""
-    result.n_arrived += 1
-    result.value_arrived += packet.value
-    decision = policy.on_arrival(switch, packet)
-    if not decision.accept:
-        result.n_rejected += 1
-        result.value_rejected += packet.value
-        return
-    q = switch.voq[packet.src][packet.dst]
-    if decision.preempt is not None:
-        if decision.preempt not in q:
-            raise ScheduleError(
-                f"arrival preemption victim {decision.preempt.pid} not in VOQ "
-                f"({packet.src},{packet.dst})"
-            )
-        q.remove(decision.preempt)
-        result.n_preempted_voq += 1
-        result.value_preempted_voq += decision.preempt.value
-    if q.is_full:
-        raise ScheduleError(
-            f"policy accepted packet {packet.pid} into full VOQ "
-            f"({packet.src},{packet.dst}) without naming a preemption victim"
+def _check_dims(trace: Trace, config: SwitchConfig) -> None:
+    if trace.n_in != config.n_in or trace.n_out != config.n_out:
+        raise ValueError(
+            f"trace is {trace.n_in}x{trace.n_out} but switch is "
+            f"{config.n_in}x{config.n_out}"
         )
-    q.push(packet)
-    result.n_accepted += 1
-    result.value_accepted += packet.value
 
 
-def _finalize(switch, result: SimulationResult) -> SimulationResult:
-    residual = switch.buffered_packets()
-    result.n_residual = len(residual)
-    result.value_residual = sum(p.value for p in residual)
-    result.check_conservation()
-    return result
+def _make_result(
+    policy, config: SwitchConfig, n_arrival_slots: int, horizon: int
+) -> SimulationResult:
+    return SimulationResult(
+        policy_name=policy.name,
+        config=config,
+        n_arrival_slots=n_arrival_slots,
+        horizon=horizon,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -114,74 +100,27 @@ def run_cioq(
         used by tests).
     trace_occupancy:
         Record end-of-slot buffer occupancy totals into
-        ``result.occupancy``.
+        ``result.occupancy`` (schema documented on
+        :class:`~repro.simulation.results.SimulationResult`).
     """
-    if trace.n_in != config.n_in or trace.n_out != config.n_out:
-        raise ValueError(
-            f"trace is {trace.n_in}x{trace.n_out} but switch is "
-            f"{config.n_in}x{config.n_out}"
-        )
+    _check_dims(trace, config)
     switch = CIOQSwitch(config)
     policy.reset(switch)
     extra = drain_bound(config) if max_extra_slots is None else max_extra_slots
     horizon = trace.n_slots + extra
-    result = SimulationResult(
-        policy_name=policy.name,
-        config=config,
-        n_arrival_slots=trace.n_slots,
-        horizon=horizon,
+    result = _make_result(policy, config, trace.n_slots, horizon)
+    return run_slot_loop(
+        switch,
+        policy,
+        trace.arrival_slots().__getitem__,
+        trace.n_slots,
+        horizon,
+        result,
+        crossbar=False,
+        recorder=LogRecorder(result) if record else NULL_RECORDER,
+        check_invariants=check_invariants,
+        trace_occupancy=trace_occupancy,
     )
-
-    for t in range(horizon):
-        # Arrival phase.
-        for p in trace.arrivals(t):
-            _apply_arrival(switch, policy, p, result)
-        if check_invariants:
-            switch.check_invariants()
-
-        # Scheduling phase: `speedup` cycles, each an admissible matching.
-        for s in range(config.speedup):
-            transfers = policy.schedule(switch, t, s)
-            for tr in transfers:
-                if tr.preempt is not None:
-                    result.n_preempted_out += 1
-                    result.value_preempted_out += tr.preempt.value
-                if record:
-                    result.schedule_log.append(
-                        TransferEvent(
-                            slot=t,
-                            cycle=s,
-                            src=tr.src,
-                            dst=tr.dst,
-                            pid=tr.packet.pid,
-                            value=tr.packet.value,
-                            stage="cioq",
-                            preempted_pid=(
-                                tr.preempt.pid if tr.preempt is not None else None
-                            ),
-                        )
-                    )
-            switch.apply_transfers(transfers)
-            if check_invariants:
-                switch.check_invariants()
-
-        # Transmission phase (validation happens inside switch.transmit).
-        selections = policy.select_transmissions(switch)
-        sent = switch.transmit(selections)
-        for p in sent:
-            j = p.dst
-            result.record_sent(t, j, p, record)
-        if check_invariants:
-            switch.check_invariants()
-        if trace_occupancy:
-            voq_total = sum(len(q) for row in switch.voq for q in row)
-            out_total = sum(len(q) for q in switch.out)
-            result.occupancy.append((t, voq_total, 0, out_total))
-
-        if t >= trace.n_slots and switch.is_drained():
-            break
-
-    return _finalize(switch, result)
 
 
 def run_cioq_streaming(
@@ -196,41 +135,35 @@ def run_cioq_streaming(
     the online state before choosing the next arrivals.
 
     ``source`` is consulted for the first ``n_slots`` slots (before the
-    arrival phase of each); afterwards the switch drains.
+    arrival phase of each); afterwards the switch drains.  Packet ids
+    are assigned in arrival-event order, exactly as
+    :class:`~repro.traffic.base.TrafficModel` does for batch traces.
     """
     switch = CIOQSwitch(config)
     policy.reset(switch)
     horizon = n_slots + drain_bound(config)
-    result = SimulationResult(
-        policy_name=policy.name,
-        config=config,
-        n_arrival_slots=n_slots,
-        horizon=horizon,
-    )
+    result = _make_result(policy, config, n_slots, horizon)
+
     pid = 0
-    for t in range(horizon):
-        if t < n_slots:
-            for src, dst, value in source(t, switch):
-                packet = Packet(pid, value, t, src, dst)
-                pid += 1
-                _apply_arrival(switch, policy, packet, result)
 
-        for s in range(config.speedup):
-            transfers = policy.schedule(switch, t, s)
-            for tr in transfers:
-                if tr.preempt is not None:
-                    result.n_preempted_out += 1
-                    result.value_preempted_out += tr.preempt.value
-            switch.apply_transfers(transfers)
+    def arrivals_for(t: int) -> List[Packet]:
+        nonlocal pid
+        packets: List[Packet] = []
+        for src, dst, value in source(t, switch):
+            packets.append(Packet(pid, value, t, src, dst))
+            pid += 1
+        return packets
 
-        sent = switch.transmit(policy.select_transmissions(switch))
-        for p in sent:
-            result.record_sent(t, p.dst, p, record)
-
-        if t >= n_slots and switch.is_drained():
-            break
-
-    return _finalize(switch, result)
+    return run_slot_loop(
+        switch,
+        policy,
+        arrivals_for,
+        n_slots,
+        horizon,
+        result,
+        crossbar=False,
+        recorder=LogRecorder(result) if record else NULL_RECORDER,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -251,89 +184,24 @@ def run_crossbar(
     Each scheduling cycle runs the input subphase (at most one VOQ ->
     crosspoint transfer per input port) then the output subphase (at
     most one crosspoint -> output transfer per output port), per
-    Section 1.3 of the paper.
+    Section 1.3 of the paper.  Accepts the same keyword options as
+    :func:`run_cioq`.
     """
-    if trace.n_in != config.n_in or trace.n_out != config.n_out:
-        raise ValueError(
-            f"trace is {trace.n_in}x{trace.n_out} but switch is "
-            f"{config.n_in}x{config.n_out}"
-        )
+    _check_dims(trace, config)
     switch = CrossbarSwitch(config)
     policy.reset(switch)
     extra = drain_bound(config) if max_extra_slots is None else max_extra_slots
     horizon = trace.n_slots + extra
-    result = SimulationResult(
-        policy_name=policy.name,
-        config=config,
-        n_arrival_slots=trace.n_slots,
-        horizon=horizon,
+    result = _make_result(policy, config, trace.n_slots, horizon)
+    return run_slot_loop(
+        switch,
+        policy,
+        trace.arrival_slots().__getitem__,
+        trace.n_slots,
+        horizon,
+        result,
+        crossbar=True,
+        recorder=LogRecorder(result) if record else NULL_RECORDER,
+        check_invariants=check_invariants,
+        trace_occupancy=trace_occupancy,
     )
-
-    for t in range(horizon):
-        for p in trace.arrivals(t):
-            _apply_arrival(switch, policy, p, result)
-        if check_invariants:
-            switch.check_invariants()
-
-        for s in range(config.speedup):
-            in_transfers = policy.input_subphase(switch, t, s)
-            for tr in in_transfers:
-                if tr.preempt is not None:
-                    result.n_preempted_cross += 1
-                    result.value_preempted_cross += tr.preempt.value
-                if record:
-                    result.schedule_log.append(
-                        TransferEvent(
-                            slot=t,
-                            cycle=s,
-                            src=tr.src,
-                            dst=tr.dst,
-                            pid=tr.packet.pid,
-                            value=tr.packet.value,
-                            stage="in",
-                            preempted_pid=(
-                                tr.preempt.pid if tr.preempt is not None else None
-                            ),
-                        )
-                    )
-            switch.apply_input_subphase(in_transfers)
-
-            out_transfers = policy.output_subphase(switch, t, s)
-            for tr in out_transfers:
-                if tr.preempt is not None:
-                    result.n_preempted_out += 1
-                    result.value_preempted_out += tr.preempt.value
-                if record:
-                    result.schedule_log.append(
-                        TransferEvent(
-                            slot=t,
-                            cycle=s,
-                            src=tr.src,
-                            dst=tr.dst,
-                            pid=tr.packet.pid,
-                            value=tr.packet.value,
-                            stage="out",
-                            preempted_pid=(
-                                tr.preempt.pid if tr.preempt is not None else None
-                            ),
-                        )
-                    )
-            switch.apply_output_subphase(out_transfers)
-            if check_invariants:
-                switch.check_invariants()
-
-        sent = switch.transmit(policy.select_transmissions(switch))
-        for p in sent:
-            result.record_sent(t, p.dst, p, record)
-        if check_invariants:
-            switch.check_invariants()
-        if trace_occupancy:
-            voq_total = sum(len(q) for row in switch.voq for q in row)
-            cross_total = sum(len(q) for row in switch.cross for q in row)
-            out_total = sum(len(q) for q in switch.out)
-            result.occupancy.append((t, voq_total, cross_total, out_total))
-
-        if t >= trace.n_slots and switch.is_drained():
-            break
-
-    return _finalize(switch, result)

@@ -80,7 +80,16 @@ class SimulationResult:
     # transmit_log entries: (slot, output_port, pid)
 
     # Optional per-slot occupancy trace (populated when
-    # trace_occupancy=True): (slot, voq_total, cross_total, out_total).
+    # trace_occupancy=True).  Schema — one 4-tuple per executed slot,
+    # recorded at end of slot (after the transmission phase):
+    #
+    #   (slot, voq_total, cross_total, out_total)
+    #
+    # where voq_total sums all VOQ lengths, cross_total sums all
+    # crosspoint-queue lengths, and out_total sums all output-queue
+    # lengths.  Both switch models emit the same schema (via
+    # ``switch.occupancy_totals()`` in the shared kernel); the CIOQ
+    # model has no crosspoint buffers, so its cross_total is always 0.
     occupancy: List[Tuple[int, int, int, int]] = field(default_factory=list)
 
     @property

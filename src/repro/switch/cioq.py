@@ -16,7 +16,8 @@ schedules a real switch could execute.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import SwitchConfig
 from .packet import Packet
@@ -100,6 +101,17 @@ class CIOQSwitch:
             q.is_empty for q in self.out
         )
 
+    def occupancy_totals(self) -> Tuple[int, int, int]:
+        """End-of-slot totals ``(voq, cross, out)`` for the occupancy trace.
+
+        The CIOQ model has no crosspoint buffers, so the ``cross``
+        column is always 0 (see the ``occupancy`` schema documented in
+        :class:`~repro.simulation.results.SimulationResult`).
+        """
+        voq_total = sum(len(q._items) for row in self.voq for q in row)
+        out_total = sum(len(q._items) for q in self.out)
+        return voq_total, 0, out_total
+
     # -- phase actions ------------------------------------------------------
 
     def enqueue_arrival(self, p: Packet) -> None:
@@ -114,39 +126,59 @@ class CIOQSwitch:
         membership, and output capacity (possibly after a declared
         preemption).
         """
-        used_in: Dict[int, int] = {}
-        used_out: Dict[int, int] = {}
+        # Single fused validate-and-apply pass with the BoundedQueue
+        # primitives inlined (membership = binary search on the sort
+        # key; see the BoundedQueue internals contract).  Any violation
+        # raises ScheduleError, which always aborts the whole run, so
+        # validation need not precede application of earlier transfers.
+        n_in, n_out = self.n_in, self.n_out
+        used_in: set = set()
+        used_out: set = set()
+        voq, out = self.voq, self.out
         for tr in transfers:
-            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+            src, dst = tr.src, tr.dst
+            if not (0 <= src < n_in and 0 <= dst < n_out):
                 raise ScheduleError(f"transfer ports out of range: {tr!r}")
-            if tr.src in used_in:
-                raise ScheduleError(f"input port {tr.src} matched twice in one cycle")
-            if tr.dst in used_out:
-                raise ScheduleError(f"output port {tr.dst} matched twice in one cycle")
-            used_in[tr.src] = 1
-            used_out[tr.dst] = 1
+            if src in used_in:
+                raise ScheduleError(f"input port {src} matched twice in one cycle")
+            if dst in used_out:
+                raise ScheduleError(f"output port {dst} matched twice in one cycle")
+            used_in.add(src)
+            used_out.add(dst)
 
-        for tr in transfers:
-            src_q = self.voq[tr.src][tr.dst]
-            if tr.packet not in src_q:
+            src_q = voq[src][dst]
+            pk = tr.packet
+            skeys = src_q._keys
+            sitems = src_q._items
+            idx = bisect_left(skeys, pk._key)
+            if idx >= len(sitems) or sitems[idx].pid != pk.pid:
                 raise ScheduleError(
-                    f"packet {tr.packet.pid} not in VOQ ({tr.src},{tr.dst})"
+                    f"packet {pk.pid} not in VOQ ({src},{dst})"
                 )
-            dst_q = self.out[tr.dst]
-            if tr.preempt is not None:
-                if tr.preempt not in dst_q:
+            dst_q = out[dst]
+            dkeys = dst_q._keys
+            ditems = dst_q._items
+            victim = tr.preempt
+            if victim is not None:
+                vidx = bisect_left(dkeys, victim._key)
+                if vidx >= len(ditems) or ditems[vidx].pid != victim.pid:
                     raise ScheduleError(
-                        f"preemption victim {tr.preempt.pid} not in output queue "
-                        f"{tr.dst}"
+                        f"preemption victim {victim.pid} not in output queue "
+                        f"{dst}"
                     )
-                dst_q.remove(tr.preempt)
-            if dst_q.is_full:
+                del dkeys[vidx]
+                del ditems[vidx]
+            if len(ditems) >= dst_q.capacity:
                 raise ScheduleError(
-                    f"output queue {tr.dst} full; transfer of packet "
-                    f"{tr.packet.pid} needs a preemption"
+                    f"output queue {dst} full; transfer of packet "
+                    f"{pk.pid} needs a preemption"
                 )
-            src_q.remove(tr.packet)
-            dst_q.push(tr.packet)
+            del skeys[idx]
+            pk = sitems.pop(idx)
+            key = pk._key
+            didx = bisect_left(dkeys, key)
+            dkeys.insert(didx, key)
+            ditems.insert(didx, pk)
 
     def transmit(self, selections: Dict[int, Packet]) -> List[Packet]:
         """Execute the transmission phase: at most one packet per output.
@@ -155,14 +187,18 @@ class CIOQSwitch:
         sent packets.
         """
         sent: List[Packet] = []
+        n_out, out = self.n_out, self.out
         for j, p in selections.items():
-            if not (0 <= j < self.n_out):
+            if not (0 <= j < n_out):
                 raise ScheduleError(f"transmit port {j} out of range")
-            q = self.out[j]
-            if p not in q:
+            q = out[j]
+            keys = q._keys
+            items = q._items
+            idx = bisect_left(keys, p._key)
+            if idx >= len(items) or items[idx].pid != p.pid:
                 raise ScheduleError(f"packet {p.pid} not in output queue {j}")
-            q.remove(p)
-            sent.append(p)
+            del keys[idx]
+            sent.append(items.pop(idx))
         return sent
 
     # -- invariants ---------------------------------------------------------
@@ -181,7 +217,7 @@ def greedy_head_transmissions(switch: CIOQSwitch) -> Dict[int, Packet]:
     paper algorithms (for unit values, "head" is just any packet)."""
     sel: Dict[int, Packet] = {}
     for j, q in enumerate(switch.out):
-        h = q.head()
-        if h is not None:
-            sel[j] = h
+        items = q._items
+        if items:
+            sel[j] = items[-1]
     return sel

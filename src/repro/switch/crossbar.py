@@ -16,7 +16,8 @@ purely local — the practical appeal the paper's introduction describes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import SwitchConfig
 from .cioq import ScheduleError
@@ -116,6 +117,15 @@ class CrossbarSwitch:
             and all(q.is_empty for q in self.out)
         )
 
+    def occupancy_totals(self) -> Tuple[int, int, int]:
+        """End-of-slot totals ``(voq, cross, out)`` for the occupancy trace
+        (see the ``occupancy`` schema documented in
+        :class:`~repro.simulation.results.SimulationResult`)."""
+        voq_total = sum(len(q._items) for row in self.voq for q in row)
+        cross_total = sum(len(q._items) for row in self.cross for q in row)
+        out_total = sum(len(q._items) for q in self.out)
+        return voq_total, cross_total, out_total
+
     # -- phase actions ------------------------------------------------------
 
     def enqueue_arrival(self, p: Packet) -> None:
@@ -123,80 +133,118 @@ class CrossbarSwitch:
 
     def apply_input_subphase(self, transfers: Sequence[InputTransfer]) -> None:
         """Execute the input subphase: at most one transfer per input port."""
-        used_in: Dict[int, int] = {}
+        # Single fused validate-and-apply pass (see apply_transfers in
+        # the CIOQ switch for the rationale; ScheduleError always aborts
+        # the run, so per-transfer validation may interleave with
+        # application).
+        n_in, n_out = self.n_in, self.n_out
+        used_in: set = set()
+        voq, cross = self.voq, self.cross
         for tr in transfers:
-            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+            src, dst = tr.src, tr.dst
+            if not (0 <= src < n_in and 0 <= dst < n_out):
                 raise ScheduleError(f"input transfer out of range: {tr!r}")
-            if tr.src in used_in:
+            if src in used_in:
                 raise ScheduleError(
-                    f"input port {tr.src} released two packets in one input subphase"
+                    f"input port {src} released two packets in one input subphase"
                 )
-            used_in[tr.src] = 1
+            used_in.add(src)
 
-        for tr in transfers:
-            src_q = self.voq[tr.src][tr.dst]
-            if tr.packet not in src_q:
+            src_q = voq[src][dst]
+            pk = tr.packet
+            skeys = src_q._keys
+            sitems = src_q._items
+            idx = bisect_left(skeys, pk._key)
+            if idx >= len(sitems) or sitems[idx].pid != pk.pid:
                 raise ScheduleError(
-                    f"packet {tr.packet.pid} not in VOQ ({tr.src},{tr.dst})"
+                    f"packet {pk.pid} not in VOQ ({src},{dst})"
                 )
-            dst_q = self.cross[tr.src][tr.dst]
-            if tr.preempt is not None:
-                if tr.preempt not in dst_q:
+            dst_q = cross[src][dst]
+            dkeys = dst_q._keys
+            ditems = dst_q._items
+            victim = tr.preempt
+            if victim is not None:
+                vidx = bisect_left(dkeys, victim._key)
+                if vidx >= len(ditems) or ditems[vidx].pid != victim.pid:
                     raise ScheduleError(
-                        f"preemption victim {tr.preempt.pid} not in crosspoint "
-                        f"queue ({tr.src},{tr.dst})"
+                        f"preemption victim {victim.pid} not in crosspoint "
+                        f"queue ({src},{dst})"
                     )
-                dst_q.remove(tr.preempt)
-            if dst_q.is_full:
+                del dkeys[vidx]
+                del ditems[vidx]
+            if len(ditems) >= dst_q.capacity:
                 raise ScheduleError(
-                    f"crosspoint queue ({tr.src},{tr.dst}) full; needs preemption"
+                    f"crosspoint queue ({src},{dst}) full; needs preemption"
                 )
-            src_q.remove(tr.packet)
-            dst_q.push(tr.packet)
+            del skeys[idx]
+            pk = sitems.pop(idx)
+            key = pk._key
+            didx = bisect_left(dkeys, key)
+            dkeys.insert(didx, key)
+            ditems.insert(didx, pk)
 
     def apply_output_subphase(self, transfers: Sequence[OutputTransfer]) -> None:
         """Execute the output subphase: at most one transfer per output port."""
-        used_out: Dict[int, int] = {}
+        n_in, n_out = self.n_in, self.n_out
+        used_out: set = set()
+        cross, out = self.cross, self.out
         for tr in transfers:
-            if not (0 <= tr.src < self.n_in and 0 <= tr.dst < self.n_out):
+            src, dst = tr.src, tr.dst
+            if not (0 <= src < n_in and 0 <= dst < n_out):
                 raise ScheduleError(f"output transfer out of range: {tr!r}")
-            if tr.dst in used_out:
+            if dst in used_out:
                 raise ScheduleError(
-                    f"output port {tr.dst} admitted two packets in one output "
+                    f"output port {dst} admitted two packets in one output "
                     f"subphase"
                 )
-            used_out[tr.dst] = 1
+            used_out.add(dst)
 
-        for tr in transfers:
-            src_q = self.cross[tr.src][tr.dst]
-            if tr.packet not in src_q:
+            src_q = cross[src][dst]
+            pk = tr.packet
+            skeys = src_q._keys
+            sitems = src_q._items
+            idx = bisect_left(skeys, pk._key)
+            if idx >= len(sitems) or sitems[idx].pid != pk.pid:
                 raise ScheduleError(
-                    f"packet {tr.packet.pid} not in crosspoint queue "
-                    f"({tr.src},{tr.dst})"
+                    f"packet {pk.pid} not in crosspoint queue "
+                    f"({src},{dst})"
                 )
-            dst_q = self.out[tr.dst]
-            if tr.preempt is not None:
-                if tr.preempt not in dst_q:
+            dst_q = out[dst]
+            dkeys = dst_q._keys
+            ditems = dst_q._items
+            victim = tr.preempt
+            if victim is not None:
+                vidx = bisect_left(dkeys, victim._key)
+                if vidx >= len(ditems) or ditems[vidx].pid != victim.pid:
                     raise ScheduleError(
-                        f"preemption victim {tr.preempt.pid} not in output queue "
-                        f"{tr.dst}"
+                        f"preemption victim {victim.pid} not in output queue "
+                        f"{dst}"
                     )
-                dst_q.remove(tr.preempt)
-            if dst_q.is_full:
-                raise ScheduleError(f"output queue {tr.dst} full; needs preemption")
-            src_q.remove(tr.packet)
-            dst_q.push(tr.packet)
+                del dkeys[vidx]
+                del ditems[vidx]
+            if len(ditems) >= dst_q.capacity:
+                raise ScheduleError(f"output queue {dst} full; needs preemption")
+            del skeys[idx]
+            pk = sitems.pop(idx)
+            key = pk._key
+            didx = bisect_left(dkeys, key)
+            dkeys.insert(didx, key)
+            ditems.insert(didx, pk)
 
     def transmit(self, selections: Dict[int, Packet]) -> List[Packet]:
         sent: List[Packet] = []
+        n_out, out = self.n_out, self.out
         for j, p in selections.items():
-            if not (0 <= j < self.n_out):
+            if not (0 <= j < n_out):
                 raise ScheduleError(f"transmit port {j} out of range")
-            q = self.out[j]
-            if p not in q:
+            q = out[j]
+            keys = q._keys
+            items = q._items
+            idx = bisect_left(keys, p._key)
+            if idx >= len(items) or items[idx].pid != p.pid:
                 raise ScheduleError(f"packet {p.pid} not in output queue {j}")
-            q.remove(p)
-            sent.append(p)
+            del keys[idx]
+            sent.append(items.pop(idx))
         return sent
 
     def check_invariants(self) -> None:
@@ -212,7 +260,7 @@ def greedy_head_transmissions(switch: CrossbarSwitch) -> Dict[int, Packet]:
     """Send the head of every non-empty output queue (all paper policies)."""
     sel: Dict[int, Packet] = {}
     for j, q in enumerate(switch.out):
-        h = q.head()
-        if h is not None:
-            sel[j] = h
+        items = q._items
+        if items:
+            sel[j] = items[-1]
     return sel

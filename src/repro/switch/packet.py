@@ -34,7 +34,7 @@ class Packet:
         Output port ``out(p)`` (0-based).
     """
 
-    __slots__ = ("pid", "value", "arrival", "src", "dst")
+    __slots__ = ("pid", "value", "arrival", "src", "dst", "_key")
 
     def __init__(self, pid: int, value: float, arrival: int, src: int, dst: int):
         if value <= 0:
@@ -48,12 +48,15 @@ class Packet:
         self.arrival = int(arrival)
         self.src = int(src)
         self.dst = int(dst)
+        # Cached sort key: packets are immutable, and the key is consulted
+        # on every queue insertion/removal (the simulator's hottest path).
+        self._key = (self.value, -pid)
 
     # Ordering: "greater" means more valuable, with smaller pid winning ties.
     # This is the total order used everywhere (queues, matchings, OPT).
     def sort_key(self) -> Tuple[float, int]:
         """Key such that sorting ascending puts the *least* valuable first."""
-        return (self.value, -self.pid)
+        return self._key
 
     def beats(self, other: "Packet") -> bool:
         """True if this packet is strictly preferred over ``other``."""

@@ -38,6 +38,12 @@ class BoundedQueue:
     :meth:`Packet.sort_key`, i.e. ``_items[-1]`` is the head (greatest
     value) and ``_items[0]`` is the tail (least value).  This makes both
     ``pop_head`` and ``pop_tail`` cheap (tail pop is O(n) but n <= B).
+
+    In-package fast paths (the simulation kernel and the paper policies'
+    scheduling loops) are allowed to *read* ``_items`` directly — it is
+    always the ascending-sorted packet list, so ``_items[-1]`` is the
+    head, ``_items[0]`` the tail, and ``len(_items) < capacity`` means
+    "not full" — but must mutate only through the methods below.
     """
 
     __slots__ = ("capacity", "_items", "_keys")
@@ -59,7 +65,19 @@ class BoundedQueue:
         return iter(reversed(self._items))
 
     def __contains__(self, p: Packet) -> bool:
-        return p in self._items
+        return self.find(p) >= 0
+
+    def find(self, p: Packet) -> int:
+        """Index of ``p`` in the internal ascending order, or -1.
+
+        O(log n) via the sort key; equal-key runs cannot occur (keys
+        embed the unique pid), so at most one probe is needed.
+        """
+        keys = self._keys
+        idx = bisect_left(keys, p._key)
+        if idx < len(keys) and self._items[idx].pid == p.pid:
+            return idx
+        return -1
 
     @property
     def is_empty(self) -> bool:
@@ -98,13 +116,14 @@ class BoundedQueue:
 
     def push(self, p: Packet) -> None:
         """Insert ``p`` maintaining sort order; raises if the queue is full."""
-        if self.is_full:
+        items = self._items
+        if len(items) >= self.capacity:
             raise QueueOverflowError(
                 f"queue at capacity {self.capacity}; cannot push packet {p.pid}"
             )
-        key = p.sort_key()
+        key = p._key
         idx = bisect_left(self._keys, key)
-        self._items.insert(idx, p)
+        items.insert(idx, p)
         self._keys.insert(idx, key)
 
     def pop_head(self) -> Packet:
@@ -123,17 +142,11 @@ class BoundedQueue:
 
     def remove(self, p: Packet) -> None:
         """Remove a specific packet (used by preemption bookkeeping)."""
-        key = p.sort_key()
-        idx = bisect_left(self._keys, key)
-        while idx < len(self._items):
-            if self._items[idx].pid == p.pid:
-                del self._items[idx]
-                del self._keys[idx]
-                return
-            if self._keys[idx] != key:
-                break
-            idx += 1
-        raise ValueError(f"packet {p.pid} not in queue")
+        idx = self.find(p)
+        if idx < 0:
+            raise ValueError(f"packet {p.pid} not in queue")
+        del self._items[idx]
+        del self._keys[idx]
 
     def clear(self) -> None:
         self._items.clear()

@@ -11,7 +11,7 @@ and replayed.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..switch.packet import Packet, total_value, validate_packets
 
@@ -34,6 +34,7 @@ class Trace:
         self._by_slot: List[List[Packet]] = [[] for _ in range(self.n_slots)]
         for p in self.packets:
             self._by_slot[p.arrival].append(p)
+        self._slot_tuples: Optional[Tuple[Tuple[Packet, ...], ...]] = None
 
     # -- access --------------------------------------------------------------
 
@@ -45,6 +46,19 @@ class Trace:
         if 0 <= slot < self.n_slots:
             return self._by_slot[slot]
         return ()
+
+    def arrival_slots(self) -> Tuple[Tuple[Packet, ...], ...]:
+        """Per-slot arrival arrays, precomputed once per trace.
+
+        ``arrival_slots()[t]`` is the (possibly empty) tuple of packets
+        arriving in slot ``t`` for ``t in range(n_slots)``.  The
+        simulation kernel indexes this directly in its slot loop instead
+        of paying a bounds-checked :meth:`arrivals` call per slot; the
+        tuples are built lazily on first use and cached.
+        """
+        if self._slot_tuples is None:
+            self._slot_tuples = tuple(tuple(s) for s in self._by_slot)
+        return self._slot_tuples
 
     @property
     def total_value(self) -> float:

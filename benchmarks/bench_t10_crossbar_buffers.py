@@ -10,35 +10,34 @@ crosspoint memory and bigger crosspoint buffers buy little.
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import buffer_sweep_crossbar
-from repro.core.cgu import CGUPolicy
-from repro.core.cpg import CPGPolicy
-from repro.switch.config import SwitchConfig
-from repro.traffic.bursty import BurstyTraffic
-from repro.traffic.values import pareto_values, unit_values
+from repro.scenarios import get_scenario
 
 from conftest import run_once
 
+#: Experiment parameters come from the registered crossbar scenarios
+#: (CGU on unit values, CPG on Pareto values); this driver adds the
+#: crosspoint-capacity sweep dimension using each scenario's first
+#: policy.
+B_CROSS_VALUES = [1, 2, 4]
+
+
+def _sweep_scenario(name, executor):
+    spec = get_scenario(name)
+    _label, factory = spec.policy_factories()[0]
+    return buffer_sweep_crossbar(
+        factory,
+        spec.build_traffic(),
+        n_slots=spec.slots,
+        b_cross_values=B_CROSS_VALUES,
+        base_config=spec.build_config(),
+        seeds=spec.seeds,
+        executor=executor,
+    )
+
 
 def compute_tables(executor=None):
-    base = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
-    unit_rows = buffer_sweep_crossbar(
-        CGUPolicy,
-        BurstyTraffic(3, 3, burst_load=2.5, value_model=unit_values()),
-        n_slots=16,
-        b_cross_values=[1, 2, 4],
-        base_config=base,
-        seeds=(0, 1),
-        executor=executor,
-    )
-    weighted_rows = buffer_sweep_crossbar(
-        CPGPolicy,
-        BurstyTraffic(3, 3, burst_load=2.5, value_model=pareto_values(1.4)),
-        n_slots=16,
-        b_cross_values=[1, 2, 4],
-        base_config=base,
-        seeds=(0, 1),
-        executor=executor,
-    )
+    unit_rows = _sweep_scenario("crossbar-unit-burst", executor)
+    weighted_rows = _sweep_scenario("crossbar-weighted-pareto", executor)
     return unit_rows, weighted_rows
 
 

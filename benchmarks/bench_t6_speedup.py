@@ -11,50 +11,44 @@ greedy.
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import speedup_sweep
-from repro.core.gm import GMPolicy
-from repro.scheduling.baselines import (
-    MaxMatchPolicy,
-    RandomMatchPolicy,
-    RoundRobinPolicy,
-)
-from repro.switch.config import SwitchConfig
-from repro.traffic.hotspot import HotspotTraffic
+from repro.scenarios import get_scenario
 
 from conftest import run_once
 
+#: All experiment parameters (switch, traffic, policies, slots, seeds)
+#: come from the registered scenario; this driver only adds the
+#: speedup sweep dimension.
+SCENARIO = "speedup-grid"
+SPEEDUPS = [1, 2, 3, 4]
+
 
 def compute_rows(executor=None):
-    base = SwitchConfig.square(4, b_in=2, b_out=2)
-    traffic = HotspotTraffic(4, 4, load=1.3, hot_fraction=0.5)
+    spec = get_scenario(SCENARIO)
     rows = speedup_sweep(
-        {
-            "GM": GMPolicy,
-            "MaxMatch": MaxMatchPolicy,
-            "RoundRobin": RoundRobinPolicy,
-            "RandomMatch": RandomMatchPolicy,
-        },
-        traffic,
-        n_slots=20,
-        speedups=[1, 2, 3, 4],
-        base_config=base,
-        seeds=(0, 1),
+        dict(spec.policy_factories()),
+        spec.build_traffic(),
+        n_slots=spec.slots,
+        speedups=SPEEDUPS,
+        base_config=spec.build_config(),
+        seeds=spec.seeds,
         executor=executor,
     )
     return rows
 
 
 def test_t6_speedup_table(benchmark, emit, sweep_executor):
+    labels = get_scenario(SCENARIO).policy_labels()
     rows = run_once(benchmark, compute_rows, sweep_executor)
     emit("\n" + format_table(
         rows,
         title="T6 - packets delivered vs fabric speedup "
-              "(4x4, hotspot overload; OPT = exact offline optimum)",
+              f"(scenario {SCENARIO}; OPT = exact offline optimum)",
     ))
     for r in rows:
         # Nobody beats OPT; GM stays within its factor-3 guarantee.
-        for name in ("GM", "MaxMatch", "RoundRobin", "RandomMatch"):
+        for name in labels:
             assert r[name] <= r["OPT"] + 1e-6
-        assert r["OPT"] <= 3 * r["GM"] + 1e-6
+        assert r["OPT"] <= 3 * r["gm"] + 1e-6
     # Speedup monotonicity of the optimum (aggregated over seeds).
     by_speedup = {}
     for r in rows:

@@ -17,8 +17,15 @@ Three parts:
    privileged-packet accounting of Lemma 3 is verified, certifying
    Theorem 1 on that instance.
 
-Run:  python examples/adversarial_analysis.py
+Run:  python examples/adversarial_analysis.py [--slots N] [--seed S]
+
+(``--slots`` caps the adaptive attacks' length; the instances are
+deterministic, so ``--seed`` is accepted for convention uniformity with
+the other examples but has no effect here.)
 """
+
+import argparse
+import sys
 
 from repro import GMPolicy, PGPolicy, SwitchConfig, cioq_opt, run_cioq
 from repro.analysis import measure_cioq_ratio, print_table
@@ -32,7 +39,15 @@ from repro.traffic import (
 )
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=36,
+                        help="cap on the adaptive attacks' slot count")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="unused (deterministic instances); accepted "
+                             "for convention uniformity")
+    args = parser.parse_args(argv if argv is not None else [])
+
     rows = []
     beta = pg_optimal_beta()
 
@@ -48,7 +63,8 @@ def main() -> None:
     # --- Part 2: adaptive adversaries against GM ---
     cfg_iq = SwitchConfig.square(6, speedup=1, b_in=3, b_out=3)
     iq_trace = generate_adaptive_trace(
-        GMPolicy, cfg_iq, SingleOutputOverloadAdversary(), n_slots=18
+        GMPolicy, cfg_iq, SingleOutputOverloadAdversary(),
+        n_slots=min(18, args.slots),
     )
     rows.append(
         measure_cioq_ratio(GMPolicy(), iq_trace, cfg_iq, bound=3.0).as_row()
@@ -56,7 +72,8 @@ def main() -> None:
 
     cfg_rot = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2)
     adv_trace = generate_adaptive_trace(
-        GMPolicy, cfg_rot, RotatingBurstAdversary(), n_slots=36
+        GMPolicy, cfg_rot, RotatingBurstAdversary(),
+        n_slots=min(36, args.slots),
     )
     rows.append(
         measure_cioq_ratio(GMPolicy(), adv_trace, cfg_rot, bound=3.0).as_row()
@@ -91,4 +108,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

@@ -9,8 +9,11 @@ need — the guarantee holds at B(C)=1, which is why buffered crossbars
 "significantly decrease the scheduling overhead" (Section 1) without
 large fabric memories.
 
-Run:  python examples/crossbar_fabric.py
+Run:  python examples/crossbar_fabric.py [--slots N] [--seed S]
 """
+
+import argparse
+import sys
 
 from repro import (
     CGUPolicy,
@@ -47,7 +50,14 @@ def show_figures() -> None:
     print(render_crossbar(xbar, title="Figure 2: buffered crossbar switch, N = 3"))
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=40,
+                        help="arrival slots per trace (default 40)")
+    parser.add_argument("--seed", type=int, default=3,
+                        help="base traffic seed (default 3)")
+    args = parser.parse_args(argv if argv is not None else [])
+
     show_figures()
 
     n = 3
@@ -55,7 +65,7 @@ def main() -> None:
     heavy = BernoulliTraffic(n, n, load=1.3, value_model=pareto_values(1.5))
 
     # CGU vs CPG on the same weighted trace (CGU ignores values).
-    trace = heavy.generate(40, seed=3)
+    trace = heavy.generate(args.slots, seed=args.seed)
     cgu = run_crossbar(CGUPolicy(), base, trace)
     cpg = run_crossbar(CPGPolicy(), base, trace)
     opt = crossbar_opt(trace, base)
@@ -79,8 +89,8 @@ def main() -> None:
     )
 
     rows = buffer_sweep_crossbar(
-        CPGPolicy, heavy, n_slots=40, b_cross_values=[1, 2, 4],
-        base_config=base, seeds=(3, 4),
+        CPGPolicy, heavy, n_slots=args.slots, b_cross_values=[1, 2, 4],
+        base_config=base, seeds=(args.seed, args.seed + 1),
     )
     print_table(rows, title="CPG vs OPT as crosspoint capacity B(C) grows (T10)")
     print(
@@ -90,4 +100,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

@@ -1,89 +1,44 @@
 #!/usr/bin/env python
 """Bursty datacenter-style traffic: scheduler comparison under incast.
 
-The paper motivates worst-case analysis by the failure of Poisson
-traffic models on real networks [Paxson–Floyd; Veres–Boda].  This
-example emulates the canonical datacenter pathology — *incast*: many
-senders burst simultaneously toward one top-of-rack port — and compares
-GM (greedy maximal matching, this paper) against the maximum-matching
-schedule of prior work, the iSLIP-style round-robin heuristic used in
-real hardware, a randomized greedy, and the exact offline optimum.
+The whole experiment is the registered ``bursty-incast`` scenario
+(ON/OFF Markov senders bursting toward one top-of-rack port — see
+docs/scenarios.md); this script is just a five-line invocation of it:
+fetch the spec, run it through the scenario runner, print the tables.
+Edit the scenario (or ``repro scenarios export bursty-incast``) to
+change the experiment — no code here needs to move.
 
-Run:  python examples/datacenter_bursts.py
+Run:  python examples/datacenter_bursts.py [--slots N] [--seed S]
 """
 
-from repro import (
-    GMPolicy,
-    MaxMatchPolicy,
-    RandomMatchPolicy,
-    RoundRobinPolicy,
-    SwitchConfig,
-    cioq_opt,
-    run_cioq,
-)
-from repro.analysis import print_table
-from repro.traffic import BurstyTraffic
+import argparse
+import sys
+
+from repro.scenarios import get_scenario, run_scenario
 
 
-def main() -> None:
-    n = 4
-    config = SwitchConfig.square(n, speedup=2, b_in=4, b_out=4)
-    # ON/OFF bursts with a strong hotspot on output 0 (incast): when a
-    # sender is ON it emits ~2 packets/slot, 60% of them to port 0.
-    traffic = BurstyTraffic(
-        n,
-        n,
-        p_on=0.3,
-        p_off=0.25,
-        burst_load=2.0,
-        dst_weights=[0.6] + [0.4 / (n - 1)] * (n - 1),
-    )
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=None,
+                        help="override the scenario's arrival slots")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed (the scenario uses seed..seed+2)")
+    args = parser.parse_args(argv if argv is not None else [])
 
-    policies = {
-        "GM": GMPolicy,
-        "MaxMatch": MaxMatchPolicy,
-        "RoundRobin": RoundRobinPolicy,
-        "RandomMatch": RandomMatchPolicy,
-    }
+    spec = get_scenario("bursty-incast")
+    seeds = None if args.seed is None else [args.seed + k for k in
+                                            range(len(spec.seeds))]
+    run = run_scenario(spec.with_overrides(slots=args.slots, seeds=seeds))
+    print(run.tables())
 
-    rows = []
-    n_slots = 50
-    seeds = (1, 2, 3)
-    totals = {name: 0.0 for name in policies}
-    opt_total = 0.0
-    arrived_total = 0
-    for seed in seeds:
-        trace = traffic.generate(n_slots, seed=seed)
-        arrived_total += len(trace)
-        opt = cioq_opt(trace, config)
-        opt_total += opt.benefit
-        row = {"seed": seed, "arrived": len(trace)}
-        for name, factory in policies.items():
-            res = run_cioq(factory(), config, trace)
-            totals[name] += res.benefit
-            row[name] = int(res.benefit)
-        row["OPT"] = int(opt.benefit)
-        rows.append(row)
-
-    summary = {"seed": "total", "arrived": arrived_total}
-    for name in policies:
-        summary[name] = int(totals[name])
-    summary["OPT"] = int(opt_total)
-    rows.append(summary)
-
-    print_table(
-        rows,
-        title=(
-            f"Packets delivered under bursty incast traffic "
-            f"({n}x{n}, speedup {config.speedup}, {n_slots} slots/seed)"
-        ),
-    )
-    for name in policies:
-        print(
-            f"  {name:12s} achieved {100 * totals[name] / opt_total:6.2f}% "
-            f"of OPT  (empirical ratio {opt_total / totals[name]:.3f}, "
-            f"paper bound for GM: 3)"
-        )
+    opt = next(a for a in run.aggregates if a["policy"] == "OPT")
+    for agg in run.aggregates:
+        if agg["policy"] == "OPT":
+            continue
+        share = 100 * agg["mean_benefit"] / opt["mean_benefit"]
+        print(f"  {agg['policy']:12s} achieved {share:6.2f}% of OPT  "
+              f"(empirical ratio {agg['mean_ratio']:.3f}, "
+              f"paper bound for gm: 3)")
     print(
         "\nGM matches the maximum-matching baseline's throughput while\n"
         "doing a single greedy pass per cycle — the paper's efficiency\n"
@@ -92,4 +47,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

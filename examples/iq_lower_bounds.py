@@ -15,8 +15,11 @@ with the adaptive overload adversary, prints the measured ratio next to
 every instantiated lower bound, and shows how randomizing the scheduler
 deflates the attack.
 
-Run:  python examples/iq_lower_bounds.py
+Run:  python examples/iq_lower_bounds.py [--slots N] [--seed S]
 """
+
+import argparse
+import sys
 
 from repro import GMPolicy, RandomMatchPolicy, cioq_opt, run_cioq
 from repro.analysis import print_table
@@ -24,16 +27,24 @@ from repro.iq import iq_config, known_lower_bounds, tlh_equivalence_note
 from repro.traffic import SingleOutputOverloadAdversary, generate_adaptive_trace
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=18,
+                        help="cap on each instance's attack length")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="seed for the randomized scheduler")
+    args = parser.parse_args(argv if argv is not None else [])
+
     rows = []
     for m, b, slots in [(4, 2, 14), (6, 3, 18), (8, 2, 16)]:
         cfg = iq_config(m, b)
         trace = generate_adaptive_trace(
-            GMPolicy, cfg, SingleOutputOverloadAdversary(), n_slots=slots
+            GMPolicy, cfg, SingleOutputOverloadAdversary(),
+            n_slots=min(slots, args.slots),
         )
         opt = cioq_opt(trace, cfg).benefit
         det = run_cioq(GMPolicy(), cfg, trace).benefit
-        rand = run_cioq(RandomMatchPolicy(seed=1), cfg, trace).benefit
+        rand = run_cioq(RandomMatchPolicy(seed=args.seed), cfg, trace).benefit
         lbs = {lb.name: lb.value for lb in known_lower_bounds(m, b)}
         rows.append(
             {
@@ -63,4 +74,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

@@ -2,72 +2,53 @@
 """QoS with two service classes: tuning PG's preemption threshold beta.
 
 The paper's conclusion (Section 4) discusses choosing beta from traffic
-knowledge: the ratio bound ``beta + 2 beta/(beta-1)`` balances two
-failure modes — admitting cheap packets OPT would skip (small beta
-helps) versus preempting excessively (large beta helps).  This example
-sweeps beta on two-value traffic (values {1, alpha}, the classical QoS
-regime of Section 1.2) for several high-value arrival rates and shows
-where the empirical optimum lands relative to the analysis optimum
-``beta* = 1 + sqrt(2) ~ 2.414``.
+knowledge: the bound ``beta + 2 beta/(beta-1)`` balances admitting
+cheap packets OPT would skip (small beta) against preempting
+excessively (large beta).  The experiment lives in the registered
+``qos-two-class`` scenario — PG at three thresholds (1.5, the analysis
+optimum ``beta* = 1 + sqrt(2)``, and 5.0) plus FIFO on two-value
+traffic — and this script is a five-line invocation of it (see
+docs/scenarios.md; edit or ``repro scenarios export qos-two-class`` to
+change the value mix).
 
-Run:  python examples/qos_two_classes.py
+Run:  python examples/qos_two_classes.py [--slots N] [--seed S]
 """
 
-import math
+import argparse
+import sys
 
-from repro import BernoulliTraffic, PGPolicy, SwitchConfig, run_cioq, two_value
-from repro.analysis import beta_sweep_pg, class_breakdown, print_table
-from repro.core import pg_optimal_beta, pg_ratio
+from repro.core import pg_optimal_beta, pg_optimal_ratio
+from repro.scenarios import get_scenario, run_scenario
 
 
-def main() -> None:
-    n = 3
-    config = SwitchConfig.square(n, speedup=1, b_in=2, b_out=2)
-    betas = [1.1, 1.5, 2.0, pg_optimal_beta(), 3.0, 5.0, 10.0]
-    alpha = 20.0
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=None,
+                        help="override the scenario's arrival slots")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed (the scenario uses seed..seed+2)")
+    args = parser.parse_args(argv if argv is not None else [])
 
-    for p_high in (0.1, 0.5):
-        traffic = BernoulliTraffic(
-            n, n, load=1.4, value_model=two_value(alpha=alpha, p_high=p_high)
-        )
-        trace = traffic.generate(40, seed=11)
-        rows = beta_sweep_pg(trace, config, betas)
-        for r in rows:
-            r["bound(beta)"] = round(pg_ratio(r["beta"]), 3)
-        print_table(
-            rows,
-            title=(
-                f"PG beta sweep — two-value traffic, alpha={alpha:g}, "
-                f"P[value={alpha:g}]={p_high:g}, load 1.4"
-            ),
-        )
-        best = min(rows, key=lambda r: r["ratio"])
-        print(
-            f"  empirical best beta ~ {best['beta']:g} "
-            f"(ratio {best['ratio']:g}); analysis optimum "
-            f"beta* = 1 + sqrt(2) = {pg_optimal_beta():.4f} "
-            f"(worst-case bound {3 + 2 * math.sqrt(2):.4f})\n"
-        )
+    spec = get_scenario("qos-two-class")
+    seeds = None if args.seed is None else [args.seed + k for k in
+                                            range(len(spec.seeds))]
+    run = run_scenario(spec.with_overrides(slots=args.slots, seeds=seeds))
+    print(run.tables())
 
+    pg_aggs = [a for a in run.aggregates if a["policy"].startswith("pg")]
+    best = min(pg_aggs, key=lambda a: a["mean_ratio"])
+    print(f"  empirical best threshold: {best['policy']} "
+          f"(mean ratio {best['mean_ratio']:.4f}); analysis optimum "
+          f"beta* = 1 + sqrt(2) = {pg_optimal_beta():.4f} "
+          f"(worst-case bound {pg_optimal_ratio():.4f})")
     print(
-        "With mostly high-value packets, small beta (aggressive\n"
+        "\nWith mostly high-value packets, small beta (aggressive\n"
         "preemption) admits the valuable bursts; with rare high values,\n"
         "large beta avoids wasting already-buffered packets — exactly\n"
-        "the trade-off the paper's conclusion describes.\n"
-    )
-
-    # Per-class outcome: which class pays for the overload?
-    config = SwitchConfig.square(3, speedup=1, b_in=1, b_out=1)
-    trace = BernoulliTraffic(
-        3, 3, load=2.0, value_model=two_value(alpha=alpha, p_high=0.3)
-    ).generate(40, seed=2)
-    result = run_cioq(PGPolicy(), config, trace, record=True)
-    print_table(
-        class_breakdown(result, trace),
-        title="Per-class delivery under 2x overload (PG at beta*): the "
-              "cheap class absorbs the loss",
+        "the trade-off the paper's conclusion describes.  FIFO, which\n"
+        "never preempts, pays the full price of the overload."
     )
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

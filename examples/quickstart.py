@@ -6,8 +6,11 @@ runs GM and PG on the CIOQ model and CGU and CPG on the buffered
 crossbar model, and compares every benefit with the exact offline
 optimum computed on the same trace.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--slots N] [--seed S]
 """
+
+import argparse
+import sys
 
 from repro import (
     CGUPolicy,
@@ -27,15 +30,22 @@ from repro.analysis import print_table
 from repro.core import CGU_RATIO, GM_RATIO, cpg_optimal_ratio, pg_optimal_ratio
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=40,
+                        help="arrival slots per trace (default 40)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="traffic seed (default 7)")
+    args = parser.parse_args(argv if argv is not None else [])
+
     config = SwitchConfig.square(4, speedup=2, b_in=3, b_out=3, b_cross=1)
-    n_slots = 40
+    n_slots = args.slots
 
     rows = []
 
     # --- unit-value traffic: GM (CIOQ) and CGU (crossbar) ---
     unit_trace = BernoulliTraffic(4, 4, load=1.1, value_model=unit_values())
-    trace = unit_trace.generate(n_slots, seed=7)
+    trace = unit_trace.generate(n_slots, seed=args.seed)
 
     gm = run_cioq(GMPolicy(), config, trace)
     opt = cioq_opt(trace, config)
@@ -64,7 +74,7 @@ def main() -> None:
     # --- weighted traffic: PG (CIOQ) and CPG (crossbar) ---
     weighted = BernoulliTraffic(4, 4, load=1.2,
                                 value_model=two_value(alpha=10.0, p_high=0.25))
-    wtrace = weighted.generate(n_slots, seed=7)
+    wtrace = weighted.generate(n_slots, seed=args.seed)
 
     pg = run_cioq(PGPolicy(), config, wtrace)
     wopt = cioq_opt(wtrace, config)
@@ -105,4 +115,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

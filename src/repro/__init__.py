@@ -63,6 +63,16 @@ from .scheduling import (
     RoundRobinPolicy,
 )
 from .parallel import SweepExecutor, SweepPoint, run_sweep_point
+from .scenarios import (
+    ScenarioRun,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+    write_artifacts,
+)
 from .simulation import SimulationResult, run_cioq, run_crossbar
 from .switch import (
     CIOQSwitch,
@@ -77,7 +87,10 @@ from .traffic import (
     BurstyTraffic,
     DiagonalTraffic,
     HotspotTraffic,
+    MarkovModulatedTraffic,
+    ParetoBurstTraffic,
     Trace,
+    TraceReplayTraffic,
     pareto_values,
     two_value,
     uniform_values,
@@ -120,6 +133,15 @@ __all__ = [
     "SweepExecutor",
     "SweepPoint",
     "run_sweep_point",
+    # scenario subsystem
+    "ScenarioSpec",
+    "ScenarioRun",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "run_scenario",
+    "write_artifacts",
     # switch
     "SwitchConfig",
     "Packet",
@@ -133,6 +155,9 @@ __all__ = [
     "BurstyTraffic",
     "HotspotTraffic",
     "DiagonalTraffic",
+    "MarkovModulatedTraffic",
+    "ParetoBurstTraffic",
+    "TraceReplayTraffic",
     "unit_values",
     "uniform_values",
     "two_value",

@@ -8,7 +8,7 @@ from .ratio import (
     summarize,
     worst,
 )
-from .report import format_table, markdown_table, print_table
+from .report import csv_table, format_table, markdown_table, print_table
 from .sweep import (
     beta_sweep_pg,
     buffer_sweep_crossbar,
@@ -34,6 +34,7 @@ __all__ = [
     "measure_many",
     "summarize",
     "worst",
+    "csv_table",
     "format_table",
     "markdown_table",
     "print_table",

@@ -57,6 +57,33 @@ def print_table(
                        float_digits=float_digits))
 
 
+def csv_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as CSV text with LF line endings (used for the
+    scenario result artifacts under ``results/``).
+
+    Values are written verbatim — no float rounding — so the file is a
+    faithful, machine-readable record; missing cells are empty.  LF
+    (not the RFC 4180 CRLF) keeps artifacts byte-stable across
+    platforms and friendly to text diffs.
+    """
+    import csv
+    import io
+
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(columns)
+    for r in rows:
+        writer.writerow(["" if r.get(c) is None else r.get(c) for c in columns])
+    return buf.getvalue()
+
+
 def markdown_table(
     rows: Sequence[Mapping[str, object]],
     columns: Optional[Sequence[str]] = None,

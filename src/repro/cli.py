@@ -16,6 +16,12 @@ Commands
     optionally fanned out over ``--workers`` processes and cached on
     disk via ``--cache-dir`` — and print per-cell plus per-load
     aggregate tables.  Results are bit-identical for any worker count.
+``scenarios``
+    The declarative experiment subsystem (see docs/scenarios.md):
+    ``list`` the registered catalog, ``show`` one spec, ``run`` a
+    scenario (by name or from a TOML/JSON file) and write versioned
+    JSON/CSV artifacts under ``results/``, or ``export`` a spec as
+    TOML/JSON for editing.
 ``constants``
     Print the paper's analytical constants with numerical verification.
 
@@ -26,6 +32,9 @@ Examples::
     python -m repro.cli ratio --policy gm --n 3 --load 1.2 --slots 20
     python -m repro.cli sweep --policies gm,maxmatch --loads 0.8,1.0,1.2 \
         --seeds 4 --slots 30 --workers 4
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run hotspot-incast --workers 4
+    python -m repro.cli scenarios export qos-two-class --format toml
     python -m repro.cli figures --n 3
 """
 
@@ -38,15 +47,8 @@ from typing import Optional
 from .analysis.latency import occupancy_report
 from .analysis.ratio import measure_cioq_ratio, measure_crossbar_ratio
 from .analysis.report import format_table
-from .core import CGUPolicy, CPGPolicy, GMPolicy, PGPolicy
-from .core.params import GM_RATIO, cpg_optimal_ratio, pg_optimal_ratio
-from .scheduling.baselines import (
-    MaxMatchPolicy,
-    MaxWeightMatchPolicy,
-    RandomMatchPolicy,
-    RoundRobinPolicy,
-)
-from .scheduling.fifo import FifoCIOQPolicy, FifoCrossbarPolicy
+from .core.params import GM_RATIO, cpg_optimal_ratio
+from .scenarios import POLICY_CLASSES, RESULTS_DIR
 from .simulation.engine import run_cioq, run_crossbar
 from .switch.cioq import CIOQSwitch
 from .switch.config import SwitchConfig
@@ -62,19 +64,22 @@ from .traffic.values import (
     unit_values,
 )
 
+# Policy classes come from the scenario subsystem's shared registry;
+# the CLI annotates each with its proven ratio bound (None = no bound,
+# or bound depends on runtime parameters and is filled in _make_policy).
+_BOUNDS = {
+    ("cioq", "gm"): GM_RATIO,
+    ("cioq", "maxmatch"): GM_RATIO,
+    ("cioq", "maxweight"): 6.0,
+    ("crossbar", "cgu"): 3.0,
+}
 CIOQ_POLICIES = {
-    "gm": (GMPolicy, GM_RATIO),
-    "pg": (PGPolicy, None),  # bound depends on beta; filled at runtime
-    "maxmatch": (MaxMatchPolicy, GM_RATIO),
-    "maxweight": (MaxWeightMatchPolicy, 6.0),
-    "roundrobin": (RoundRobinPolicy, None),
-    "random": (RandomMatchPolicy, None),
-    "fifo": (FifoCIOQPolicy, None),
+    name: (cls, _BOUNDS.get(("cioq", name)))
+    for name, cls in POLICY_CLASSES["cioq"].items()
 }
 CROSSBAR_POLICIES = {
-    "cgu": (CGUPolicy, 3.0),
-    "cpg": (CPGPolicy, None),
-    "fifo": (FifoCrossbarPolicy, None),
+    name: (cls, _BOUNDS.get(("crossbar", name)))
+    for name, cls in POLICY_CLASSES["crossbar"].items()
 }
 VALUE_MODELS = {
     "unit": unit_values,
@@ -251,6 +256,79 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_scenarios_list(args) -> int:
+    from .scenarios import all_scenarios
+
+    rows = []
+    for spec in all_scenarios():
+        rows.append({
+            "name": spec.name,
+            "model": spec.model,
+            "traffic": spec.traffic,
+            "policies": ",".join(spec.policy_labels()),
+            "slots": spec.slots,
+            "seeds": len(spec.seeds),
+            "description": spec.description,
+        })
+    print(format_table(rows, title=f"{len(rows)} registered scenarios "
+                                   "(see docs/scenarios.md)"))
+    return 0
+
+
+def _load_spec(args):
+    from .scenarios import ScenarioSpec, get_scenario
+
+    if getattr(args, "file", None):
+        return ScenarioSpec.from_file(args.file)
+    if not args.name:
+        raise SystemExit("need a scenario name (or --file)")
+    try:
+        return get_scenario(args.name)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_scenarios_show(args) -> int:
+    spec = _load_spec(args)
+    print(f"# {spec.name}: {spec.description}")
+    if spec.expected:
+        print(f"# expected: {spec.expected}")
+    print()
+    print(spec.to_toml(), end="")
+    return 0
+
+
+def cmd_scenarios_run(args) -> int:
+    from .scenarios import run_scenario, write_artifacts
+
+    spec = _load_spec(args)
+    try:
+        seeds = None
+        if args.seeds is not None:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        spec = spec.with_overrides(slots=args.slots, seeds=seeds)
+    except ValueError as exc:
+        raise SystemExit(f"bad override: {exc}") from None
+    run = run_scenario(spec, workers=args.workers, cache_dir=args.cache_dir)
+    print(run.tables())
+    if not args.no_artifacts:
+        json_path, csv_path, toml_path = write_artifacts(run, args.out)
+        print(f"artifacts: {json_path}  {csv_path}  {toml_path}")
+    return 0
+
+
+def cmd_scenarios_export(args) -> int:
+    spec = _load_spec(args)
+    text = spec.to_json() + "\n" if args.format == "json" else spec.to_toml()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_constants(args) -> int:
     from .theory.ratios import verify_paper_constants
 
@@ -321,6 +399,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--opt", action="store_true",
                          help="include the exact-OPT column")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="declarative experiments: list|show|run|export "
+             "(docs/scenarios.md)",
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+
+    s_list = scen_sub.add_parser("list", help="list registered scenarios")
+    s_list.set_defaults(func=cmd_scenarios_list)
+
+    s_show = scen_sub.add_parser("show", help="print one scenario spec")
+    s_show.add_argument("name", nargs="?", help="registered scenario name")
+    s_show.add_argument("--file", default=None,
+                        help="read the spec from a TOML/JSON file instead")
+    s_show.set_defaults(func=cmd_scenarios_show)
+
+    s_run = scen_sub.add_parser(
+        "run", help="run a scenario and write results/<name>/ artifacts"
+    )
+    s_run.add_argument("name", nargs="?", help="registered scenario name")
+    s_run.add_argument("--file", default=None,
+                       help="run a spec from a TOML/JSON file instead")
+    s_run.add_argument("--workers", type=int, default=0,
+                       help="worker processes (<=1: serial; results are "
+                            "bit-identical either way)")
+    s_run.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="on-disk sweep-point cache directory")
+    s_run.add_argument("--slots", type=int, default=None,
+                       help="override the spec's arrival-slot count")
+    s_run.add_argument("--seeds", default=None,
+                       help="override the spec's seeds (comma-separated)")
+    s_run.add_argument("--out", default=RESULTS_DIR,
+                       help=f"artifact root directory (default: "
+                            f"{RESULTS_DIR}/)")
+    s_run.add_argument("--no-artifacts", action="store_true",
+                       help="print tables only, write nothing")
+    s_run.set_defaults(func=cmd_scenarios_run)
+
+    s_export = scen_sub.add_parser(
+        "export", help="emit a scenario spec as TOML or JSON"
+    )
+    s_export.add_argument("name", nargs="?", help="registered scenario name")
+    s_export.add_argument("--file", default=None,
+                          help="re-export a spec file (format conversion)")
+    s_export.add_argument("--format", choices=("toml", "json"),
+                          default="toml")
+    s_export.add_argument("-o", "--output", default=None,
+                          help="write to a file instead of stdout")
+    s_export.set_defaults(func=cmd_scenarios_export)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

@@ -45,7 +45,7 @@ from .switch.config import SwitchConfig
 from .traffic.trace import Trace
 
 #: Bump when the payload schema changes; part of every cache key.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 PolicyFactory = Callable[[], object]
 
@@ -109,34 +109,28 @@ def run_sweep_point(point: SweepPoint) -> Dict[str, object]:
 
         {"policy", "benefit", "n_sent", "n_arrived", "n_accepted",
          "n_rejected", "n_preempted", "n_residual", "value_arrived",
-         "seed", "tag"}
+         "trace", "seed", "tag"}
 
+    (the accounting fields come from
+    :meth:`~repro.simulation.results.SimulationResult.as_payload`).
     For OPT points (``policy_factory is None``)::
 
-        {"policy": "OPT", "benefit", "seed", "tag"}
+        {"policy": "OPT", "benefit", "trace", "seed", "tag"}
     """
     tag = dict(point.tag)
     if point.policy_factory is None:
         solver = cioq_opt if point.model == "cioq" else crossbar_opt
         opt = solver(point.trace, point.config)
         return {"policy": "OPT", "benefit": opt.benefit,
-                "seed": point.seed, "tag": tag}
+                "trace": point.trace.name, "seed": point.seed, "tag": tag}
     policy = point.policy_factory()
     runner = run_cioq if point.model == "cioq" else run_crossbar
     res = runner(policy, point.config, point.trace)
-    return {
-        "policy": res.policy_name,
-        "benefit": res.benefit,
-        "n_sent": res.n_sent,
-        "n_arrived": res.n_arrived,
-        "n_accepted": res.n_accepted,
-        "n_rejected": res.n_rejected,
-        "n_preempted": res.n_preempted,
-        "n_residual": res.n_residual,
-        "value_arrived": res.value_arrived,
-        "seed": point.seed,
-        "tag": tag,
-    }
+    payload = res.as_payload()
+    payload["trace"] = point.trace.name
+    payload["seed"] = point.seed
+    payload["tag"] = tag
+    return payload
 
 
 class SweepExecutor:

@@ -1,0 +1,67 @@
+"""The scenario registry.
+
+Named :class:`~repro.scenarios.spec.ScenarioSpec` instances live in a
+process-global registry, populated at import time by
+:mod:`repro.scenarios.builtin` and extensible by users — decorate a
+zero-argument builder function (or pass a spec directly)::
+
+    @register_scenario
+    def my_scenario() -> ScenarioSpec:
+        return ScenarioSpec(name="my-scenario", ...)
+
+Every registered name is discoverable via ``repro scenarios list`` and
+must have a matching section in ``docs/scenarios.md`` (enforced by the
+docs-consistency tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from .spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    target: Union[ScenarioSpec, Callable[[], ScenarioSpec]],
+):
+    """Register a scenario; usable as a decorator or a direct call.
+
+    Accepts either a :class:`ScenarioSpec` or a zero-argument builder
+    returning one (the decorator form).  Registering a name twice is an
+    error — scenarios are immutable, versioned experiment definitions.
+    """
+    spec = target() if callable(target) else target
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"register_scenario needs a ScenarioSpec (or a builder "
+            f"returning one), got {type(spec).__name__}"
+        )
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return target
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (test/tooling hook; builtin names reload on
+    next interpreter start)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    return [_REGISTRY[name] for name in scenario_names()]

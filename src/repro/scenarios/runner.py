@@ -1,0 +1,206 @@
+"""Scenario execution and result artifacts.
+
+:func:`run_scenario` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into :class:`~repro.parallel.SweepPoint` units — one per (seed, policy)
+plus an exact-OPT point per seed when requested — and executes them
+through a :class:`~repro.parallel.SweepExecutor`, so every scenario
+parallelizes over ``--workers`` processes and caches on disk exactly
+like the sweeps, with bit-identical results for any worker count.
+
+:func:`write_artifacts` persists a run under ``results/<name>/`` as
+
+* ``result.json`` — the versioned artifact: spec, per-seed benefit
+  rows, per-policy aggregates and the per-(seed, policy) metrics table
+  (schema version :data:`ARTIFACT_VERSION`);
+* ``result.csv`` — the metrics table as CSV for spreadsheet/pandas use;
+* ``scenario.toml`` — the spec that produced the result, re-runnable
+  via ``repro scenarios run --file``.
+
+Artifacts contain no timestamps or environment data, so re-running a
+scenario (serially or in parallel) reproduces the files byte for byte —
+the property CI diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .._version import __version__
+from ..analysis.report import csv_table, format_table
+from ..parallel import SweepExecutor, SweepPoint
+from .spec import ScenarioSpec
+
+#: Bump when the artifact schema changes (consumers check this).
+ARTIFACT_VERSION = 1
+
+#: Default artifact root, relative to the working directory.
+RESULTS_DIR = "results"
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one scenario execution."""
+
+    spec: ScenarioSpec
+    #: One row per seed: seed, arrived, then one benefit column per
+    #: policy label (plus OPT when the spec asks for it).
+    rows: List[Dict[str, object]]
+    #: One row per policy label: mean/min/max benefit over seeds, plus
+    #: mean_ratio (OPT / policy, averaged over seeds) when available.
+    aggregates: List[Dict[str, object]]
+    #: One row per (seed, policy): the spec's selected metrics.
+    metrics: List[Dict[str, object]]
+
+    def artifact(self) -> Dict[str, object]:
+        """The versioned, JSON-serializable result record."""
+        return {
+            "artifact_version": ARTIFACT_VERSION,
+            "repro_version": __version__,
+            "scenario": self.spec.to_dict(),
+            "rows": self.rows,
+            "aggregates": self.aggregates,
+            "metrics": self.metrics,
+        }
+
+    def tables(self) -> str:
+        """Human-readable report (what ``repro scenarios run`` prints)."""
+        spec = self.spec
+        out = [
+            format_table(
+                self.rows,
+                title=f"scenario {spec.name}: {spec.model} "
+                      f"{spec.build_config().n_in}x"
+                      f"{spec.build_config().n_out}, {spec.slots} slots, "
+                      f"{len(spec.seeds)} seeds",
+            ),
+            format_table(self.aggregates, title="per-policy aggregates"),
+        ]
+        return "\n".join(out)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> ScenarioRun:
+    """Execute a scenario; pure function of the spec.
+
+    ``workers``/``cache_dir`` build a fresh executor unless one is
+    passed explicitly.  Results are bit-identical for any worker count.
+    """
+    ex = executor if executor is not None else SweepExecutor(
+        workers=workers, cache_dir=cache_dir
+    )
+    config = spec.build_config()
+    traffic = spec.build_traffic()
+    factories = spec.policy_factories()
+    labels = [label for label, _ in factories]
+
+    traces = {seed: traffic.generate(spec.slots, seed=seed)
+              for seed in spec.seeds}
+    points: List[SweepPoint] = []
+    for seed in spec.seeds:
+        trace = traces[seed]
+        for label, factory in factories:
+            points.append(
+                SweepPoint(model=spec.model, config=config, trace=trace,
+                           policy_factory=factory, seed=seed,
+                           tag={"policy": label, "seed": seed})
+            )
+        if spec.include_opt:
+            points.append(
+                SweepPoint(model=spec.model, config=config, trace=trace,
+                           seed=seed, tag={"policy": "OPT", "seed": seed})
+            )
+
+    payloads = iter(ex.run(points))
+    rows: List[Dict[str, object]] = []
+    metrics: List[Dict[str, object]] = []
+    benefits: Dict[str, List[float]] = {label: [] for label in labels}
+    opt_benefits: List[float] = []
+    for seed in spec.seeds:
+        row: Dict[str, object] = {"seed": seed, "arrived": len(traces[seed])}
+        for label in labels:
+            payload = next(payloads)
+            benefit = float(payload["benefit"])
+            benefits[label].append(benefit)
+            row[label] = round(benefit, 6)
+            metric_row: Dict[str, object] = {"seed": seed, "policy": label}
+            for m in spec.metrics:
+                metric_row[m] = payload.get(m)
+            metrics.append(metric_row)
+        if spec.include_opt:
+            payload = next(payloads)
+            benefit = float(payload["benefit"])
+            opt_benefits.append(benefit)
+            row["OPT"] = round(benefit, 6)
+            metric_row = {"seed": seed, "policy": "OPT"}
+            for m in spec.metrics:
+                metric_row[m] = payload.get(m)
+            metrics.append(metric_row)
+        rows.append(row)
+
+    aggregates: List[Dict[str, object]] = []
+    for label in labels:
+        vals = benefits[label]
+        agg: Dict[str, object] = {
+            "policy": label,
+            "mean_benefit": round(sum(vals) / len(vals), 6),
+            "min_benefit": round(min(vals), 6),
+            "max_benefit": round(max(vals), 6),
+        }
+        if spec.include_opt:
+            # A zero-benefit seed where OPT also scored 0 is a perfect
+            # ratio; where OPT scored, the ratio is undefined (None, so
+            # the JSON artifact stays RFC-8259 valid — no Infinity).
+            ratios = []
+            for opt, v in zip(opt_benefits, vals):
+                if v > 0:
+                    ratios.append(opt / v)
+                elif opt == 0:
+                    ratios.append(1.0)
+                else:
+                    ratios = None
+                    break
+            agg["mean_ratio"] = (
+                round(sum(ratios) / len(ratios), 6) if ratios else None
+            )
+        aggregates.append(agg)
+    if spec.include_opt:
+        aggregates.append({
+            "policy": "OPT",
+            "mean_benefit": round(sum(opt_benefits) / len(opt_benefits), 6),
+            "min_benefit": round(min(opt_benefits), 6),
+            "max_benefit": round(max(opt_benefits), 6),
+            "mean_ratio": 1.0,
+        })
+
+    return ScenarioRun(spec=spec, rows=rows, aggregates=aggregates,
+                       metrics=metrics)
+
+
+def write_artifacts(
+    run: ScenarioRun, out_dir: str = RESULTS_DIR
+) -> Tuple[str, str, str]:
+    """Write ``result.json``, ``result.csv`` and ``scenario.toml`` under
+    ``out_dir/<scenario name>/``; returns the three paths."""
+    target = os.path.join(out_dir, run.spec.name)
+    os.makedirs(target, exist_ok=True)
+    json_path = os.path.join(target, "result.json")
+    csv_path = os.path.join(target, "result.csv")
+    toml_path = os.path.join(target, "scenario.toml")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        # allow_nan=False guarantees the artifact stays strict JSON.
+        json.dump(run.artifact(), fh, indent=2, sort_keys=True,
+                  allow_nan=False)
+        fh.write("\n")
+    columns = ["seed", "policy", *run.spec.metrics]
+    with open(csv_path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(csv_table(run.metrics, columns=columns))
+    with open(toml_path, "w", encoding="utf-8") as fh:
+        fh.write(run.spec.to_toml())
+    return json_path, csv_path, toml_path

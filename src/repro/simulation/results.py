@@ -180,6 +180,26 @@ class SimulationResult:
             "max": float(delays[-1]),
         }
 
+    def as_payload(self) -> Dict[str, object]:
+        """Plain JSON-serializable record of this run's accounting.
+
+        The schema the sweep/scenario substrate ships across process
+        boundaries and caches on disk (see
+        :func:`repro.parallel.run_sweep_point`); scenario ``metrics``
+        select among these fields.
+        """
+        return {
+            "policy": self.policy_name,
+            "benefit": self.benefit,
+            "n_sent": self.n_sent,
+            "n_arrived": self.n_arrived,
+            "n_accepted": self.n_accepted,
+            "n_rejected": self.n_rejected,
+            "n_preempted": self.n_preempted,
+            "n_residual": self.n_residual,
+            "value_arrived": self.value_arrived,
+        }
+
     def summary(self) -> Dict[str, object]:
         return {
             "policy": self.policy_name,

@@ -22,6 +22,9 @@ from .transforms import (
 from .bernoulli import BernoulliTraffic
 from .bursty import BurstyTraffic
 from .hotspot import DiagonalTraffic, HotspotTraffic
+from .markov import MarkovModulatedTraffic
+from .paretoburst import ParetoBurstTraffic
+from .replay import TraceReplayTraffic
 from .adversarial import (
     AdaptiveAdversary,
     FullQueuePressureAdversary,
@@ -55,6 +58,9 @@ __all__ = [
     "BurstyTraffic",
     "DiagonalTraffic",
     "HotspotTraffic",
+    "MarkovModulatedTraffic",
+    "ParetoBurstTraffic",
+    "TraceReplayTraffic",
     "AdaptiveAdversary",
     "FullQueuePressureAdversary",
     "PreemptionBaitAdversary",

@@ -21,6 +21,26 @@ from .trace import Trace
 from .values import ValueModel, unit_values
 
 
+def bernoulli_count(rng: np.random.Generator, rate: float) -> int:
+    """Arrivals for one (input, slot) cell at expected ``rate``:
+    ``floor(rate)`` deterministic arrivals plus a Bernoulli remainder
+    (consumes exactly one uniform draw — the shared convention that
+    keeps every stochastic model's traces seed-stable)."""
+    whole = int(rate)
+    return whole + (1 if rng.random() < rate - whole else 0)
+
+
+def normalized_dst_weights(n_out: int, weights) -> np.ndarray:
+    """Validate and normalize a destination distribution; ``None``
+    means uniform over the ``n_out`` output ports."""
+    if weights is None:
+        return np.full(n_out, 1.0 / n_out)
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (n_out,) or (w < 0).any() or w.sum() <= 0:
+        raise ValueError("dst_weights must be n_out non-negative weights")
+    return w / w.sum()
+
+
 class TrafficModel(ABC):
     """Generates traces for an ``n_in x n_out`` switch."""
 

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .base import TrafficModel
+from .base import TrafficModel, bernoulli_count
 from .values import ValueModel
 
 
@@ -50,10 +50,7 @@ class BernoulliTraffic(TrafficModel):
         self, slot: int, rng: np.random.Generator
     ) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = []
-        whole = int(self.load)
-        frac = self.load - whole
         for i in range(self.n_in):
-            k = whole + (1 if rng.random() < frac else 0)
-            for _ in range(k):
+            for _ in range(bernoulli_count(rng, self.load)):
                 out.append((i, int(rng.integers(0, self.n_out))))
         return out

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import TrafficModel
+from .base import TrafficModel, bernoulli_count, normalized_dst_weights
 from .values import ValueModel
 
 
@@ -64,13 +64,7 @@ class BurstyTraffic(TrafficModel):
         self.p_on = float(p_on)
         self.p_off = float(p_off)
         self.burst_load = float(burst_load)
-        if dst_weights is not None:
-            w = np.asarray(dst_weights, dtype=float)
-            if w.shape != (n_out,) or (w < 0).any() or w.sum() <= 0:
-                raise ValueError("dst_weights must be n_out non-negative weights")
-            self.dst_probs = w / w.sum()
-        else:
-            self.dst_probs = np.full(n_out, 1.0 / n_out)
+        self.dst_probs = normalized_dst_weights(n_out, dst_weights)
         self._state: Optional[np.ndarray] = None
 
     def arrivals_for_slot(
@@ -90,13 +84,10 @@ class BurstyTraffic(TrafficModel):
                     self._state[i] = True
 
         out: List[Tuple[int, int]] = []
-        whole = int(self.burst_load)
-        frac = self.burst_load - whole
         for i in range(self.n_in):
             if not self._state[i]:
                 continue
-            k = whole + (1 if rng.random() < frac else 0)
-            for _ in range(k):
+            for _ in range(bernoulli_count(rng, self.burst_load)):
                 dst = int(rng.choice(self.n_out, p=self.dst_probs))
                 out.append((i, dst))
         return out

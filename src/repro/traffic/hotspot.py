@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .base import TrafficModel
+from .base import TrafficModel, bernoulli_count
 from .values import ValueModel
 
 
@@ -58,12 +58,9 @@ class HotspotTraffic(TrafficModel):
         self, slot: int, rng: np.random.Generator
     ) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = []
-        whole = int(self.load)
-        frac = self.load - whole
         cold_ports = [j for j in range(self.n_out) if j != self.hot_port]
         for i in range(self.n_in):
-            k = whole + (1 if rng.random() < frac else 0)
-            for _ in range(k):
+            for _ in range(bernoulli_count(rng, self.load)):
                 if self.n_out == 1 or rng.random() < self.hot_fraction:
                     dst = self.hot_port
                 else:
@@ -102,11 +99,8 @@ class DiagonalTraffic(TrafficModel):
         self, slot: int, rng: np.random.Generator
     ) -> List[Tuple[int, int]]:
         out: List[Tuple[int, int]] = []
-        whole = int(self.load)
-        frac = self.load - whole
         for i in range(self.n_in):
-            k = whole + (1 if rng.random() < frac else 0)
-            for _ in range(k):
+            for _ in range(bernoulli_count(rng, self.load)):
                 if rng.random() < self.diag_fraction:
                     dst = i % self.n_out
                 else:

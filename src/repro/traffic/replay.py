@@ -1,0 +1,80 @@
+"""Trace replay: drive experiments from a recorded arrival sequence.
+
+Interesting instances — adversarial gadgets, ratio outliers found in
+sweeps, captures from other simulators — are saved as JSON via
+:meth:`~repro.traffic.trace.Trace.save`.  This model replays such a
+recording through the :class:`~repro.traffic.base.TrafficModel`
+interface so that every consumer of traffic models (scenarios,
+benchmarks, the CLI) can run on recorded inputs exactly like on
+synthetic ones.
+
+Replay preserves the recorded packet *values* (the value model of the
+original instance is part of the instance); the ``value_model``
+argument of the base class is therefore ignored.  ``generate`` is a
+pure function of its arguments: the same file and ``n_slots`` always
+produce the same trace, for any seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..switch.packet import Packet
+from .base import TrafficModel
+from .trace import Trace
+
+
+class TraceReplayTraffic(TrafficModel):
+    """Replays a recorded :class:`Trace` (from memory or a JSON file).
+
+    Parameters
+    ----------
+    source:
+        A :class:`Trace` instance, or a path to a file written by
+        :meth:`Trace.save`.
+    repeat:
+        If true, the recording is tiled end-to-end to fill the
+        requested ``n_slots``; otherwise arrivals beyond the recording
+        simply stop (and arrivals past ``n_slots`` are truncated).
+    """
+
+    def __init__(self, source: Union[Trace, str], repeat: bool = False):
+        trace = Trace.load(source) if isinstance(source, str) else source
+        super().__init__(
+            trace.n_in, trace.n_out, None, name=f"replay({trace.name})"
+        )
+        self.source = trace
+        self.repeat = bool(repeat)
+
+    def arrivals_for_slot(
+        self, slot: int, rng: np.random.Generator
+    ) -> List[Tuple[int, int]]:
+        if self.repeat and self.source.n_slots > 0:
+            slot = slot % self.source.n_slots
+        return [(p.src, p.dst) for p in self.source.arrivals(slot)]
+
+    def generate(self, n_slots: int, seed: int = 0) -> Trace:
+        """Replay the recording over ``n_slots`` slots.
+
+        Unlike the stochastic models, values come from the recording
+        itself, so the result is seed-independent (the seed only names
+        the trace, keeping report labels uniform across models).
+        """
+        packets: List[Packet] = []
+        pid = 0
+        src_slots = self.source.n_slots
+        for t in range(n_slots):
+            if not self.repeat and t >= src_slots:
+                break
+            base = t % src_slots if (self.repeat and src_slots) else t
+            for p in self.source.arrivals(base):
+                packets.append(Packet(pid, p.value, t, p.src, p.dst))
+                pid += 1
+        return Trace(
+            packets,
+            self.n_in,
+            self.n_out,
+            name=f"{self.name}/seed{seed}",
+        )

@@ -101,6 +101,70 @@ class TestDocsConsistency:
                 f"{name} is not documented"
             )
 
+    def test_scenario_registry_matches_docs(self):
+        """Every registered scenario has a `### <name>` section in
+        docs/scenarios.md, and every documented section names a
+        registered scenario — the catalog and the registry cannot
+        drift apart."""
+        import re
+
+        from repro.scenarios import scenario_names
+
+        text = (ROOT / "docs" / "scenarios.md").read_text()
+        documented = set(re.findall(r"^### ([a-z0-9-]+)\s*$", text,
+                                    flags=re.MULTILINE))
+        registered = set(scenario_names())
+        assert registered - documented == set(), (
+            f"scenarios missing from docs/scenarios.md: "
+            f"{sorted(registered - documented)}"
+        )
+        assert documented - registered == set(), (
+            f"docs/scenarios.md documents unregistered scenarios: "
+            f"{sorted(documented - registered)}"
+        )
+
+    def test_documented_cli_verbs_exist(self):
+        """Every `python -m repro.cli <verb>` (and `repro scenarios
+        <subverb>`) mentioned in the docs must exist in the parser."""
+        import argparse
+        import re
+
+        from repro.cli import build_parser
+
+        def subcommands(parser):
+            for action in parser._actions:
+                if isinstance(action, argparse._SubParsersAction):
+                    return action.choices
+            return {}
+
+        parser = build_parser()
+        verbs = subcommands(parser)
+        scenario_verbs = subcommands(verbs["scenarios"])
+
+        docs = "".join(
+            p.read_text()
+            for p in (ROOT / "README.md", ROOT / "EXPERIMENTS.md",
+                      ROOT / "docs" / "scenarios.md",
+                      ROOT / "docs" / "traffic_models.md")
+        )
+        for verb in set(re.findall(r"python -m repro\.cli (\w+)", docs)):
+            assert verb in verbs, f"docs reference unknown CLI verb {verb!r}"
+        for sub in set(re.findall(r"repro(?:\.cli)? scenarios (\w+)", docs)):
+            assert sub in scenario_verbs, (
+                f"docs reference unknown `scenarios` subcommand {sub!r}"
+            )
+
+    def test_traffic_and_value_kinds_documented(self):
+        """docs/traffic_models.md must cover every spec-addressable
+        traffic kind and value kind."""
+        from repro.scenarios import TRAFFIC_KINDS, VALUE_KINDS
+
+        text = (ROOT / "docs" / "traffic_models.md").read_text()
+        for kind in list(TRAFFIC_KINDS) + list(VALUE_KINDS):
+            assert f"`{kind}`" in text, (
+                f"docs/traffic_models.md does not document kind {kind!r}"
+            )
+
     def test_paper_mapping_module_references_resolve(self):
         """Every `repro.x.y` dotted path in docs/paper_mapping.md must
         import."""

@@ -8,17 +8,21 @@ the exact optimum *at the same B(C)* — showing the guarantee costs no
 crosspoint memory and bigger crosspoint buffers buy little.
 """
 
-from repro.analysis.report import format_table
+import math
+
+from repro.analysis.report import format_mean_ci, format_table
 from repro.analysis.sweep import buffer_sweep_crossbar
 from repro.scenarios import get_scenario
+from repro.stats import Welford, half_width
 
 from conftest import run_once
 
 #: Experiment parameters come from the registered crossbar scenarios
 #: (CGU on unit values, CPG on Pareto values); this driver adds the
 #: crosspoint-capacity sweep dimension using each scenario's first
-#: policy.
+#: policy, replicated over REPLICATES seeds per B(C) cell.
 B_CROSS_VALUES = [1, 2, 4]
+REPLICATES = 3
 
 
 def _sweep_scenario(name, executor):
@@ -30,7 +34,7 @@ def _sweep_scenario(name, executor):
         n_slots=spec.slots,
         b_cross_values=B_CROSS_VALUES,
         base_config=spec.build_config(),
-        seeds=spec.seeds,
+        seeds=range(REPLICATES),
         executor=executor,
     )
 
@@ -39,6 +43,26 @@ def compute_tables(executor=None):
     unit_rows = _sweep_scenario("crossbar-unit-burst", executor)
     weighted_rows = _sweep_scenario("crossbar-weighted-pareto", executor)
     return unit_rows, weighted_rows
+
+
+def replicated_rows(rows):
+    """Per-B(C) mean benefit and mean per-seed ratio ± 95% CI
+    half-width (per-seed ratios, never sum-of-benefit ratios; a seed
+    with an unbounded ratio is excluded from the mean like
+    ``per_seed_ratios`` does)."""
+    out = []
+    for bc in B_CROSS_VALUES:
+        cell = [r for r in rows if r["b_cross"] == bc]
+        agg = {"b_cross": bc, "seeds": len(cell)}
+        for name in ("benefit", "ratio"):
+            acc = Welford.from_values(
+                v for r in cell
+                if math.isfinite(v := float(r[name]))
+            )
+            agg[name] = format_mean_ci(acc.mean,
+                                       half_width(acc.std, acc.n, 0.95))
+        out.append(agg)
+    return out
 
 
 def test_t10_crossbar_buffer_sweep(benchmark, emit, sweep_executor):
@@ -50,9 +74,19 @@ def test_t10_crossbar_buffer_sweep(benchmark, emit, sweep_executor):
               "(bursty unit traffic)",
     ))
     emit(format_table(
+        replicated_rows(unit_rows),
+        title=f"T10a (replicated) - CGU mean ± 95% CI half-width over "
+              f"{REPLICATES} seeds",
+    ))
+    emit(format_table(
         weighted_rows,
         title="T10b - CPG benefit/ratio vs crosspoint capacity B(C) "
               "(bursty Pareto traffic)",
+    ))
+    emit(format_table(
+        replicated_rows(weighted_rows),
+        title=f"T10b (replicated) - CPG mean ± 95% CI half-width over "
+              f"{REPLICATES} seeds",
     ))
     for rows, bound in ((unit_rows, 3.0), (weighted_rows, 14.83)):
         for r in rows:

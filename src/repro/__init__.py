@@ -16,8 +16,9 @@ The package provides:
 * traffic generators including adversarial gadgets (:mod:`repro.traffic`),
 * an exact offline optimum (:mod:`repro.offline`) against which
   empirical competitive ratios are measured,
-* the analysis machinery of the proofs (:mod:`repro.theory`), and
-* the experiment harness (:mod:`repro.analysis`).
+* the analysis machinery of the proofs (:mod:`repro.theory`),
+* the experiment harness (:mod:`repro.analysis`), and
+* multi-seed replication with confidence intervals (:mod:`repro.stats`).
 
 Quickstart::
 
@@ -74,6 +75,14 @@ from .scenarios import (
     write_artifacts,
 )
 from .simulation import SimulationResult, run_cioq, run_crossbar
+from .stats import (
+    ReplicatedRun,
+    ReplicationPlan,
+    Welford,
+    replicate_scenario,
+    summarize_artifact,
+    write_replicated_artifacts,
+)
 from .switch import (
     CIOQSwitch,
     CrossbarSwitch,
@@ -142,6 +151,13 @@ __all__ = [
     "all_scenarios",
     "run_scenario",
     "write_artifacts",
+    # replication & statistics
+    "Welford",
+    "ReplicationPlan",
+    "ReplicatedRun",
+    "replicate_scenario",
+    "summarize_artifact",
+    "write_replicated_artifacts",
     # switch
     "SwitchConfig",
     "Packet",

@@ -2,13 +2,23 @@
 
 from .ratio import (
     RatioMeasurement,
+    RatioSummary,
     measure_cioq_ratio,
     measure_crossbar_ratio,
     measure_many,
+    per_seed_ratios,
+    ratio_of,
     summarize,
     worst,
 )
-from .report import csv_table, format_table, markdown_table, print_table
+from .report import (
+    csv_table,
+    format_mean_ci,
+    format_summary_table,
+    format_table,
+    markdown_table,
+    print_table,
+)
 from .sweep import (
     beta_sweep_pg,
     buffer_sweep_crossbar,
@@ -29,12 +39,17 @@ from .classes import banded_breakdown, class_breakdown, value_classes
 
 __all__ = [
     "RatioMeasurement",
+    "RatioSummary",
     "measure_cioq_ratio",
     "measure_crossbar_ratio",
     "measure_many",
+    "per_seed_ratios",
+    "ratio_of",
     "summarize",
     "worst",
     "csv_table",
+    "format_mean_ci",
+    "format_summary_table",
     "format_table",
     "markdown_table",
     "print_table",

@@ -13,14 +13,58 @@ built from.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..offline.opt import cioq_opt, crossbar_opt
 from ..scheduling.base import CIOQPolicy, CrossbarPolicy
 from ..simulation.engine import run_cioq, run_crossbar
 from ..switch.config import SwitchConfig
 from ..traffic.trace import Trace
+
+
+def ratio_of(opt_benefit: float, onl_benefit: float) -> float:
+    """The competitive-ratio convention used throughout the repo.
+
+    ``OPT / ONL`` when the online algorithm scored; when it scored
+    nothing, the ratio is 1.0 if OPT also scored nothing (an empty
+    instance is served perfectly) and +inf if OPT scored (the online
+    algorithm is unboundedly bad on this instance).  Benefits are sums
+    of positive packet values, so negative inputs indicate a broken
+    caller and raise.
+    """
+    if onl_benefit < 0 or opt_benefit < 0:
+        raise ValueError(
+            f"benefits cannot be negative: onl={onl_benefit}, "
+            f"opt={opt_benefit}"
+        )
+    if onl_benefit > 0:
+        return opt_benefit / onl_benefit
+    return 1.0 if opt_benefit == 0 else float("inf")
+
+
+def per_seed_ratios(
+    opt_benefits: Sequence[float], onl_benefits: Sequence[float]
+) -> List[Optional[float]]:
+    """Per-seed ratios for paired benefit sequences (None where the
+    ratio is unbounded, i.e. ONL = 0 < OPT), ready for aggregation.
+
+    Aggregates over replicated runs must average *these* — the mean of
+    per-seed ratios — never ``sum(opt) / sum(onl)``: the ratio-of-sums
+    lets one high-benefit seed wash out a catastrophic seed entirely
+    (see the regression test in ``tests/test_stats.py``).
+    """
+    if len(opt_benefits) != len(onl_benefits):
+        raise ValueError(
+            f"paired sequences differ in length: {len(opt_benefits)} "
+            f"vs {len(onl_benefits)}"
+        )
+    out: List[Optional[float]] = []
+    for opt, onl in zip(opt_benefits, onl_benefits):
+        r = ratio_of(opt, onl)
+        out.append(r if math.isfinite(r) else None)
+    return out
 
 
 @dataclass
@@ -38,13 +82,28 @@ class RatioMeasurement:
     @property
     def ratio(self) -> float:
         """OPT / ONL (1.0 when both are zero; inf when only ONL is zero)."""
-        if self.onl_benefit > 0:
-            return self.opt_benefit / self.onl_benefit
-        return 1.0 if self.opt_benefit == 0 else float("inf")
+        return ratio_of(self.opt_benefit, self.onl_benefit)
+
+    @property
+    def finite_ratio(self) -> Optional[float]:
+        """The ratio, or None when it is unbounded — the JSON/CSV-safe
+        form (strict JSON has no Infinity)."""
+        r = self.ratio
+        return r if math.isfinite(r) else None
 
     @property
     def within_bound(self) -> bool:
-        return self.bound is None or self.ratio <= self.bound + 1e-9
+        """Whether the measured ratio respects the proven bound.
+
+        No bound means nothing to violate (vacuously true, even for an
+        unbounded ratio); an unbounded ratio violates every finite
+        bound.  The epsilon absorbs float noise in OPT / ONL only — it
+        never excuses a genuinely out-of-bound measurement.
+        """
+        if self.bound is None:
+            return True
+        r = self.ratio
+        return math.isfinite(r) and r <= self.bound + 1e-9
 
     def as_row(self) -> dict:
         return {
@@ -52,7 +111,9 @@ class RatioMeasurement:
             "trace": self.trace,
             "onl": round(self.onl_benefit, 3),
             "opt": round(self.opt_benefit, 3),
-            "ratio": round(self.ratio, 4),
+            # None (rendered "-", serialized null) when unbounded.
+            "ratio": round(self.ratio, 4) if self.finite_ratio is not None
+            else None,
             "bound": self.bound,
             "ok": self.within_bound,
         }
@@ -138,12 +199,94 @@ def worst(measurements: Iterable[RatioMeasurement]) -> RatioMeasurement:
 
 
 def summarize(measurements: Iterable[RatioMeasurement]) -> dict:
-    """Aggregate statistics over a batch of measurements."""
+    """Aggregate statistics over a batch of measurements.
+
+    ``mean_ratio`` averages the *finite* per-measurement ratios (the
+    per-seed mean, never a ratio of summed benefits); unbounded
+    measurements are counted in ``n_unbounded`` and surface through
+    ``max_ratio`` (inf) rather than poisoning the mean.
+    """
     ms = list(measurements)
     ratios = [m.ratio for m in ms]
+    finite = [r for r in ratios if math.isfinite(r)]
     return {
         "n": len(ms),
+        "n_unbounded": len(ratios) - len(finite),
         "max_ratio": max(ratios) if ratios else float("nan"),
-        "mean_ratio": sum(ratios) / len(ratios) if ratios else float("nan"),
+        "mean_ratio": sum(finite) / len(finite) if finite else float("nan"),
         "all_within_bound": all(m.within_bound for m in ms),
     }
+
+
+@dataclass
+class RatioSummary:
+    """CI-aware aggregate of replicated ratio measurements.
+
+    The mean is the mean of *per-seed* ratios over the ``n`` finite
+    measurements; ``n_unbounded`` counts seeds whose ratio was
+    unbounded (ONL = 0 < OPT) and therefore excluded.  ``ci_lo`` /
+    ``ci_hi`` bound the mean ratio at ``confidence`` level via the
+    normal interval of :mod:`repro.stats.ci`; they are None when fewer
+    than two finite ratios exist.
+    """
+
+    policy: str
+    n: int
+    n_unbounded: int
+    mean: Optional[float]
+    std: Optional[float]
+    ci_lo: Optional[float]
+    ci_hi: Optional[float]
+    worst: float
+    confidence: float = 0.95
+    all_within_bound: bool = True
+
+    @classmethod
+    def from_measurements(
+        cls,
+        measurements: Iterable[RatioMeasurement],
+        confidence: float = 0.95,
+    ) -> "RatioSummary":
+        # Deferred import: analysis must stay importable without
+        # triggering the stats package (which imports the scenario
+        # subsystem, which imports this package).
+        from ..stats.ci import normal_interval
+        from ..stats.welford import Welford
+
+        ms = list(measurements)
+        if not ms:
+            raise ValueError("no measurements to summarize")
+        finite = [m.ratio for m in ms if m.finite_ratio is not None]
+        acc = Welford.from_values(finite)
+        lo, hi = normal_interval(acc.mean, acc.std, acc.n, confidence)
+        return cls(
+            policy=ms[0].policy,
+            n=len(finite),
+            n_unbounded=len(ms) - len(finite),
+            mean=acc.mean if finite else None,
+            std=acc.std if math.isfinite(acc.std) else None,
+            ci_lo=lo if math.isfinite(lo) else None,
+            ci_hi=hi if math.isfinite(hi) else None,
+            worst=max(m.ratio for m in ms),
+            confidence=confidence,
+            all_within_bound=all(m.within_bound for m in ms),
+        )
+
+    @property
+    def half_width(self) -> Optional[float]:
+        if self.ci_lo is None or self.mean is None:
+            return None
+        return self.mean - self.ci_lo
+
+    def as_row(self) -> dict:
+        hw = self.half_width
+        return {
+            "policy": self.policy,
+            "n": self.n,
+            "mean_ratio": round(self.mean, 4) if self.mean is not None
+            else None,
+            "hw": round(hw, 4) if hw is not None else None,
+            "worst": round(self.worst, 4) if math.isfinite(self.worst)
+            else None,
+            "ok": self.all_within_bound,
+        }

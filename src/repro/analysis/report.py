@@ -84,6 +84,56 @@ def csv_table(
     return buf.getvalue()
 
 
+def format_mean_ci(
+    mean: Optional[float],
+    half_width: Optional[float],
+    float_digits: int = 4,
+) -> str:
+    """Render ``mean ± half-width`` as one cell (``"-"`` parts when
+    undefined, e.g. a single replicate has no interval)."""
+    if mean is None:
+        return "-"
+    cell = f"{mean:.{float_digits}g}"
+    if half_width is None:
+        return cell
+    return f"{cell} ± {half_width:.{float_digits}g}"
+
+
+def format_summary_table(
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render replication-summary rows (the schema of
+    :data:`repro.stats.SUMMARY_COLUMNS`) as an aligned table with a
+    combined ``mean ± hw`` column and explicit CI bounds.
+
+    Used by ``repro scenarios run --replicates`` and ``repro stats
+    summarize``; the machine-readable record is the summary artifact,
+    this is the human view.
+    """
+    has_boot = any(r.get("boot_lo") is not None or r.get("boot_hi") is not None
+                   for r in rows)
+    display = []
+    for r in rows:
+        out = {
+            "policy": r.get("policy"),
+            "metric": r.get("metric"),
+            "n": r.get("n"),
+            "mean": format_mean_ci(r.get("mean"), r.get("half_width"),
+                                   float_digits),
+            "ci_lo": r.get("ci_lo"),
+            "ci_hi": r.get("ci_hi"),
+        }
+        if has_boot:
+            out["boot_lo"] = r.get("boot_lo")
+            out["boot_hi"] = r.get("boot_hi")
+        display.append(out)
+    columns = list(display[0].keys()) if display else None
+    return format_table(display, columns=columns, title=title,
+                        float_digits=float_digits)
+
+
 def markdown_table(
     rows: Sequence[Mapping[str, object]],
     columns: Optional[Sequence[str]] = None,

@@ -27,7 +27,7 @@ from ..parallel import SweepExecutor, SweepPoint
 from ..switch.config import SwitchConfig
 from ..traffic.base import TrafficModel
 from ..traffic.trace import Trace
-from .ratio import RatioMeasurement
+from .ratio import RatioMeasurement, ratio_of
 
 
 def grid(**params: Sequence) -> List[Dict]:
@@ -76,9 +76,7 @@ def beta_sweep_pg(
                 "beta": round(float(beta), 4),
                 "pg_benefit": round(benefit, 3),
                 "opt_benefit": round(opt_benefit, 3),
-                "ratio": round(opt_benefit / benefit, 4)
-                if benefit > 0
-                else float("inf"),
+                "ratio": round(ratio_of(opt_benefit, benefit), 4),
                 "preempted": payload["n_preempted"],
                 "rejected": payload["n_rejected"],
             }
@@ -116,9 +114,7 @@ def threshold_sweep_cpg(
                 "alpha": round(float(alpha), 4),
                 "cpg_benefit": round(benefit, 3),
                 "opt_benefit": round(opt_benefit, 3),
-                "ratio": round(opt_benefit / benefit, 4)
-                if benefit > 0
-                else float("inf"),
+                "ratio": round(ratio_of(opt_benefit, benefit), 4),
                 "preempted": payload["n_preempted"],
             }
         )
@@ -240,9 +236,7 @@ def buffer_sweep_crossbar(
                 "seed": seed,
                 "benefit": round(benefit, 3),
                 "opt": round(opt_benefit, 3),
-                "ratio": round(opt_benefit / benefit, 4)
-                if benefit > 0
-                else float("inf"),
+                "ratio": round(ratio_of(opt_benefit, benefit), 4),
             }
         )
     return rows

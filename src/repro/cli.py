@@ -21,7 +21,13 @@ Commands
     ``list`` the registered catalog, ``show`` one spec, ``run`` a
     scenario (by name or from a TOML/JSON file) and write versioned
     JSON/CSV artifacts under ``results/``, or ``export`` a spec as
-    TOML/JSON for editing.
+    TOML/JSON for editing.  ``run --replicates N --ci 95`` replicates
+    the scenario across N seeds and adds mean/std/CI summary artifacts
+    (see docs/statistics.md).
+``stats``
+    Statistics over written result artifacts: ``summarize`` recomputes
+    mean/std/CI summary rows from an existing ``results/<name>/``
+    record without re-simulating.
 ``constants``
     Print the paper's analytical constants with numerical verification.
 
@@ -34,6 +40,9 @@ Examples::
         --seeds 4 --slots 30 --workers 4
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run hotspot-incast --workers 4
+    python -m repro.cli scenarios run smoke-bernoulli --replicates 32 \
+        --ci 95 --workers 4
+    python -m repro.cli stats summarize smoke-bernoulli --bootstrap 1000
     python -m repro.cli scenarios export qos-two-class --format toml
     python -m repro.cli figures --n 3
 """
@@ -298,6 +307,22 @@ def cmd_scenarios_show(args) -> int:
     return 0
 
 
+def _parse_confidence(value: Optional[float]) -> Optional[float]:
+    """``--ci`` accepts a percentage in [1, 100) (e.g. 95) or a
+    fraction in (0, 1) (e.g. 0.95)."""
+    if value is None:
+        return None
+    conf = float(value)
+    if 1.0 <= conf < 100.0:
+        return conf / 100.0
+    if 0.0 < conf < 1.0:
+        return conf
+    raise SystemExit(
+        f"--ci takes a percentage in [1, 100) or a fraction in (0, 1), "
+        f"got {value}"
+    )
+
+
 def cmd_scenarios_run(args) -> int:
     from .scenarios import run_scenario, write_artifacts
 
@@ -309,11 +334,80 @@ def cmd_scenarios_run(args) -> int:
         spec = spec.with_overrides(slots=args.slots, seeds=seeds)
     except ValueError as exc:
         raise SystemExit(f"bad override: {exc}") from None
+
+    # A spec with a replicates block runs replicated by default; any
+    # replication flag opts an ordinary spec in (and overrides blocks).
+    replicated = bool(spec.replicates) or any(
+        getattr(args, name) is not None
+        for name in ("replicates", "ci", "bootstrap", "target_half_width",
+                     "batch")
+    )
+    if replicated:
+        if args.seeds is not None:
+            # Replicate seeds are the plan's base_seed ladder; silently
+            # discarding an explicit --seeds list would misreport what
+            # ran.
+            raise SystemExit(
+                "--seeds cannot be combined with replication; the "
+                "replicate ladder is base_seed .. base_seed+n-1 "
+                "(set it in the spec's [replicates] block)"
+            )
+        from .stats import (
+            ReplicationPlan,
+            replicate_scenario,
+            write_replicated_artifacts,
+        )
+
+        try:
+            plan = ReplicationPlan.from_spec(
+                spec,
+                n=args.replicates,
+                confidence=_parse_confidence(args.ci),
+                bootstrap=args.bootstrap,
+                target_half_width=args.target_half_width,
+                batch=args.batch,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad replication plan: {exc}") from None
+        rrun = replicate_scenario(spec, plan=plan, workers=args.workers,
+                                  cache_dir=args.cache_dir)
+        print(rrun.tables())
+        if not args.no_artifacts:
+            paths = write_replicated_artifacts(rrun, args.out)
+            print(f"artifacts: {'  '.join(paths)}")
+        return 0
+
     run = run_scenario(spec, workers=args.workers, cache_dir=args.cache_dir)
     print(run.tables())
     if not args.no_artifacts:
         json_path, csv_path, toml_path = write_artifacts(run, args.out)
         print(f"artifacts: {json_path}  {csv_path}  {toml_path}")
+    return 0
+
+
+def cmd_stats_summarize(args) -> int:
+    import json as _json
+
+    from .analysis.report import format_summary_table
+    from .stats import load_artifact, summarize_artifact
+
+    try:
+        artifact = load_artifact(args.target, results_root=args.results)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    rows = summarize_artifact(
+        artifact,
+        confidence=_parse_confidence(args.ci),
+        bootstrap=args.bootstrap,
+        bootstrap_seed=args.bootstrap_seed,
+    )
+    if args.json:
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    name = artifact.get("scenario", {}).get("name", args.target)
+    print(format_summary_table(
+        rows, title=f"summary of {name} ({len(artifact.get('rows', []))} "
+                    f"seeds)"))
     return 0
 
 
@@ -436,6 +530,19 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{RESULTS_DIR}/)")
     s_run.add_argument("--no-artifacts", action="store_true",
                        help="print tables only, write nothing")
+    s_run.add_argument("--replicates", type=int, default=None,
+                       help="run N replicate seeds and report mean/std/CI "
+                            "summaries (docs/statistics.md)")
+    s_run.add_argument("--ci", type=float, default=None,
+                       help="confidence level for summaries, e.g. 95")
+    s_run.add_argument("--bootstrap", type=int, default=None,
+                       help="percentile-bootstrap resamples (0 = off)")
+    s_run.add_argument("--target-half-width", type=float, default=None,
+                       dest="target_half_width",
+                       help="stop early once every policy's CI half-width "
+                            "for the target metric is at most this")
+    s_run.add_argument("--batch", type=int, default=None,
+                       help="seeds per early-stopping batch")
     s_run.set_defaults(func=cmd_scenarios_run)
 
     s_export = scen_sub.add_parser(
@@ -449,6 +556,32 @@ def build_parser() -> argparse.ArgumentParser:
     s_export.add_argument("-o", "--output", default=None,
                           help="write to a file instead of stdout")
     s_export.set_defaults(func=cmd_scenarios_export)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="statistics over result artifacts (docs/statistics.md)",
+    )
+    stats_sub = p_stats.add_subparsers(dest="stats_command", required=True)
+    st_sum = stats_sub.add_parser(
+        "summarize",
+        help="mean/std/CI summary of a written results/<name>/ artifact",
+    )
+    st_sum.add_argument("target",
+                        help="scenario name under --results, a results "
+                             "directory, or a result.json path")
+    st_sum.add_argument("--results", default=RESULTS_DIR,
+                        help=f"artifact root (default: {RESULTS_DIR}/)")
+    st_sum.add_argument("--ci", type=float, default=None,
+                        help="confidence level, e.g. 95 (default: the "
+                             "artifact's replicates block, else 95)")
+    st_sum.add_argument("--bootstrap", type=int, default=None,
+                        help="percentile-bootstrap resamples")
+    st_sum.add_argument("--bootstrap-seed", type=int, default=None,
+                        dest="bootstrap_seed",
+                        help="bootstrap RNG seed (default: artifact block)")
+    st_sum.add_argument("--json", action="store_true",
+                        help="emit summary rows as JSON instead of a table")
+    st_sum.set_defaults(func=cmd_stats_summarize)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

@@ -19,6 +19,11 @@ like the sweeps, with bit-identical results for any worker count.
 Artifacts contain no timestamps or environment data, so re-running a
 scenario (serially or in parallel) reproduces the files byte for byte —
 the property CI diffs.
+
+Replicated runs (:func:`repro.stats.replicate_scenario`) reuse this
+runner per seed batch and :func:`write_artifacts` for the per-seed
+record, then add ``summary.json`` / ``summary.csv`` with
+mean/stddev/CI rows per (policy, metric) — see ``docs/statistics.md``.
 """
 
 from __future__ import annotations
@@ -29,12 +34,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .._version import __version__
+from ..analysis.ratio import per_seed_ratios
 from ..analysis.report import csv_table, format_table
 from ..parallel import SweepExecutor, SweepPoint
 from .spec import ScenarioSpec
 
 #: Bump when the artifact schema changes (consumers check this).
-ARTIFACT_VERSION = 1
+#: v2: the embedded scenario dict gained a ``replicates`` block.
+ARTIFACT_VERSION = 2
 
 #: Default artifact root, relative to the working directory.
 RESULTS_DIR = "results"
@@ -144,6 +151,29 @@ def run_scenario(
             metrics.append(metric_row)
         rows.append(row)
 
+    aggregates = compute_aggregates(
+        labels, benefits, opt_benefits if spec.include_opt else None
+    )
+
+    return ScenarioRun(spec=spec, rows=rows, aggregates=aggregates,
+                       metrics=metrics)
+
+
+def compute_aggregates(
+    labels: List[str],
+    benefits: Dict[str, List[float]],
+    opt_benefits: Optional[List[float]],
+) -> List[Dict[str, object]]:
+    """Per-policy aggregate rows over per-seed benefit lists.
+
+    The mean ratio averages *per-seed* ratios (OPT / policy, seed by
+    seed) rather than dividing summed benefits — the two differ whenever
+    seeds have different magnitudes, and the per-seed mean is the
+    estimator the paper's per-instance ratio tables use (see
+    ``docs/statistics.md``).  Shared by :func:`run_scenario` and the
+    replicated runs in :mod:`repro.stats.replication`, so single-pass
+    and replicated artifacts agree on aggregate semantics.
+    """
     aggregates: List[Dict[str, object]] = []
     for label in labels:
         vals = benefits[label]
@@ -153,24 +183,19 @@ def run_scenario(
             "min_benefit": round(min(vals), 6),
             "max_benefit": round(max(vals), 6),
         }
-        if spec.include_opt:
-            # A zero-benefit seed where OPT also scored 0 is a perfect
-            # ratio; where OPT scored, the ratio is undefined (None, so
-            # the JSON artifact stays RFC-8259 valid — no Infinity).
-            ratios = []
-            for opt, v in zip(opt_benefits, vals):
-                if v > 0:
-                    ratios.append(opt / v)
-                elif opt == 0:
-                    ratios.append(1.0)
-                else:
-                    ratios = None
-                    break
+        if opt_benefits is not None:
+            # Per-seed ratios (both-zero seeds are perfect, 1.0); seeds
+            # whose ratio is unbounded (ONL = 0 < OPT) are excluded
+            # from the mean — matching the summary rows of
+            # repro.stats — and mean_ratio is None (RFC-8259-valid
+            # JSON, no Infinity) only when no finite ratio exists.
+            ratios = [r for r in per_seed_ratios(opt_benefits, vals)
+                      if r is not None]
             agg["mean_ratio"] = (
                 round(sum(ratios) / len(ratios), 6) if ratios else None
             )
         aggregates.append(agg)
-    if spec.include_opt:
+    if opt_benefits is not None:
         aggregates.append({
             "policy": "OPT",
             "mean_benefit": round(sum(opt_benefits) / len(opt_benefits), 6),
@@ -178,9 +203,7 @@ def run_scenario(
             "max_benefit": round(max(opt_benefits), 6),
             "mean_ratio": 1.0,
         })
-
-    return ScenarioRun(spec=spec, rows=rows, aggregates=aggregates,
-                       metrics=metrics)
+    return aggregates
 
 
 def write_artifacts(

@@ -246,6 +246,74 @@ _SWITCH_DEFAULTS = {
     "b_cross": 1,
 }
 
+#: Keys a spec's ``replicates`` block may carry, with their defaults
+#: (documented key-by-key in ``docs/statistics.md``; consumed by
+#: :class:`repro.stats.ReplicationPlan`).  ``target_half_width`` has no
+#: default — when present it enables sequential early stopping.
+REPLICATES_DEFAULTS = {
+    "n": 8,
+    "base_seed": 0,
+    "confidence": 0.95,
+    "bootstrap": 0,
+    "bootstrap_seed": 0,
+    "target_metric": "benefit",
+    "batch": 8,
+}
+
+
+def _validate_replicates(block: Mapping, include_opt: bool,
+                         metrics: Tuple[str, ...]) -> None:
+    """Validate a spec's ``replicates`` block (empty means disabled)."""
+    known = set(REPLICATES_DEFAULTS) | {"target_half_width"}
+    unknown = set(block) - known
+    if unknown:
+        raise ValueError(
+            f"unknown replicates keys: {sorted(unknown)}; choose from "
+            f"{sorted(known)}"
+        )
+    merged = {**REPLICATES_DEFAULTS, **block}
+    if not isinstance(merged["n"], int) or merged["n"] < 2:
+        raise ValueError(
+            f"replicates.n must be an int >= 2 (one seed has no "
+            f"variance), got {merged['n']!r}"
+        )
+    for key in ("base_seed", "bootstrap", "bootstrap_seed", "batch"):
+        if not isinstance(merged[key], int):
+            raise ValueError(f"replicates.{key} must be an int, "
+                             f"got {merged[key]!r}")
+    if merged["bootstrap"] < 0:
+        raise ValueError("replicates.bootstrap must be >= 0")
+    if merged["batch"] < 1:
+        raise ValueError("replicates.batch must be >= 1")
+    conf = merged["confidence"]
+    if not isinstance(conf, (int, float)) or not 0.0 < conf < 1.0:
+        raise ValueError(
+            f"replicates.confidence must be a fraction in (0, 1), "
+            f"got {conf!r}"
+        )
+    if "target_half_width" in block:
+        thw = block["target_half_width"]
+        if not isinstance(thw, (int, float)) or thw <= 0:
+            raise ValueError(
+                f"replicates.target_half_width must be > 0 (omit the "
+                f"key to disable early stopping), got {thw!r}"
+            )
+    metric = merged["target_metric"]
+    if metric == "ratio":
+        if not include_opt:
+            raise ValueError(
+                "replicates.target_metric 'ratio' needs include_opt"
+            )
+    elif metric != "benefit" and metric not in metrics:
+        # Early stopping watches per-seed values; a metric the scenario
+        # does not export would leave the stopping rule starved forever
+        # (all seeds always run) — reject it up front.
+        raise ValueError(
+            f"replicates.target_metric {metric!r} is not exported by "
+            f"this scenario; choose from "
+            f"{('benefit', 'ratio') + tuple(metrics)}"
+        )
+
 
 def _freeze(value):
     """Recursively wrap mappings in read-only views (and sequences in
@@ -319,6 +387,16 @@ class ScenarioSpec:
     metrics:
         Payload fields exported to the per-(seed, policy) metrics table
         (subset of :data:`KNOWN_METRICS`).
+    replicates:
+        Optional replication block (empty mapping = disabled).  Keys
+        (see :data:`REPLICATES_DEFAULTS` and ``docs/statistics.md``):
+        ``n`` replicate seeds starting at ``base_seed``, aggregated with
+        mean/stddev and ``confidence``-level normal CIs, optionally
+        ``bootstrap`` percentile-bootstrap resamples
+        (``bootstrap_seed``), and sequential early stopping in batches
+        of ``batch`` seeds once ``target_metric``'s CI half-width drops
+        to ``target_half_width``.  A spec with a non-empty block runs
+        replicated by default under ``repro scenarios run``.
     expected:
         One-line qualitative expectation, shown in the catalog docs and
         ``repro scenarios show``.
@@ -338,6 +416,7 @@ class ScenarioSpec:
     include_opt: bool = True
     metrics: Tuple[str, ...] = ("benefit", "n_sent", "n_rejected",
                                "n_preempted", "n_residual")
+    replicates: Mapping[str, object] = field(default_factory=dict)
     expected: str = ""
 
     def __post_init__(self) -> None:
@@ -346,7 +425,7 @@ class ScenarioSpec:
         # ``spec.policies[0]["beta"]`` in place would silently corrupt
         # every later run while artifacts keep the stale label.
         for name in ("switch", "traffic_params", "value_params",
-                     "policies"):
+                     "policies", "replicates"):
             object.__setattr__(self, name, _freeze(getattr(self, name)))
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "metrics", tuple(self.metrics))
@@ -407,6 +486,9 @@ class ScenarioSpec:
                 raise ValueError(
                     f"unknown metric {m!r}; choose from {KNOWN_METRICS}"
                 )
+        if self.replicates:
+            _validate_replicates(self.replicates, self.include_opt,
+                                 self.metrics)
 
     # -- construction helpers ----------------------------------------------
 
@@ -469,6 +551,7 @@ class ScenarioSpec:
             "seeds": list(self.seeds),
             "include_opt": self.include_opt,
             "metrics": list(self.metrics),
+            "replicates": _thaw(self.replicates),
             "expected": self.expected,
         }
 

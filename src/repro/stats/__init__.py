@@ -1,0 +1,61 @@
+"""Multi-seed replication and statistics.
+
+Every number the experiment suite reports used to be a single-seed
+point estimate; this package turns any scenario (or ratio measurement)
+into a *replicated* estimate with honest uncertainty:
+
+* :mod:`~repro.stats.welford` — streaming mean/variance accumulators
+  with exact parallel merge;
+* :mod:`~repro.stats.ci` — normal (z) and seeded percentile-bootstrap
+  confidence intervals;
+* :mod:`~repro.stats.summarize` — the per-(policy, metric) summary-row
+  schema (:data:`SUMMARY_COLUMNS`) and re-summarization of written
+  ``results/`` artifacts;
+* :mod:`~repro.stats.replication` — :func:`replicate_scenario`: fan a
+  scenario across a seed ladder through the parallel sweep substrate,
+  with optional sequential early stopping at a target CI half-width.
+
+Exposed on the CLI as ``repro scenarios run --replicates N --ci 95``
+and ``repro stats summarize``; the model is documented in
+``docs/statistics.md``.
+"""
+
+from .ci import (
+    bootstrap_interval,
+    half_width,
+    normal_interval,
+    z_value,
+)
+from .replication import (
+    ReplicatedRun,
+    ReplicationPlan,
+    replicate_scenario,
+    write_replicated_artifacts,
+)
+from .summarize import (
+    SUMMARY_COLUMNS,
+    SUMMARY_VERSION,
+    build_summary_rows,
+    collect_series,
+    load_artifact,
+    summarize_artifact,
+)
+from .welford import Welford
+
+__all__ = [
+    "Welford",
+    "z_value",
+    "half_width",
+    "normal_interval",
+    "bootstrap_interval",
+    "SUMMARY_COLUMNS",
+    "SUMMARY_VERSION",
+    "build_summary_rows",
+    "collect_series",
+    "load_artifact",
+    "summarize_artifact",
+    "ReplicationPlan",
+    "ReplicatedRun",
+    "replicate_scenario",
+    "write_replicated_artifacts",
+]

@@ -1,0 +1,96 @@
+"""Confidence intervals: normal (z) and percentile bootstrap.
+
+Both interval kinds are deliberately dependency-free and deterministic:
+
+* :func:`normal_interval` uses the two-sided normal quantile from
+  :class:`statistics.NormalDist` — appropriate for the replicated-run
+  setting where each observation is itself a full simulation (seeds are
+  i.i.d. draws) and replicate counts are moderate.  We report z rather
+  than Student-t intervals; at the n >= 8 replicate counts the subsystem
+  defaults to, the difference is small and the z half-width has the
+  clean ``~ 1/sqrt(n)`` shrinkage the acceptance tests pin.
+* :func:`bootstrap_interval` is the percentile bootstrap over resampled
+  means, driven by ``random.Random(seed)`` so the interval is a pure
+  function of (values, confidence, resamples, seed) — artifacts carrying
+  bootstrap bounds stay byte-reproducible.
+
+Non-finite results (undefined with n < 2) are returned as ``nan``;
+serializers map them to ``None`` to keep artifacts strict JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from statistics import NormalDist
+from typing import List, Sequence, Tuple
+
+_NAN = float("nan")
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided normal quantile, e.g. ``z_value(0.95) ~= 1.96``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def half_width(std: float, n: int, confidence: float = 0.95) -> float:
+    """Normal CI half-width ``z * std / sqrt(n)`` (nan when undefined)."""
+    if n < 2 or std != std:
+        return _NAN
+    return z_value(confidence) * std / math.sqrt(n)
+
+
+def normal_interval(
+    mean: float, std: float, n: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Two-sided normal CI for the mean; ``(nan, nan)`` when undefined."""
+    hw = half_width(std, n, confidence)
+    if hw != hw:
+        return (_NAN, _NAN)
+    return (mean - hw, mean + hw)
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sequence."""
+    if not sorted_values:
+        return _NAN
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+def bootstrap_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``values``.
+
+    Resamples with replacement ``resamples`` times, takes the empirical
+    ``(1 - confidence) / 2`` and ``1 - (1 - confidence) / 2`` quantiles
+    of the resampled means.  Deterministic in ``seed``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    n = len(values)
+    if n < 2:
+        return (_NAN, _NAN)
+    rng = random.Random(seed)
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += values[rng.randrange(n)]
+        means.append(total / n)
+    means.sort()
+    alpha = 1.0 - confidence
+    return (_quantile(means, alpha / 2.0), _quantile(means, 1.0 - alpha / 2.0))

@@ -19,9 +19,13 @@ from repro.core.pg import PGPolicy
 from repro.scheduling.fifo import FifoCIOQPolicy
 from repro.simulation.engine import drain_bound, run_cioq, run_cioq_streaming, run_crossbar
 from repro.switch.config import SwitchConfig
+from repro.traffic.adversarial import burst_reject_gadget
 from repro.traffic.bernoulli import BernoulliTraffic
 from repro.traffic.bursty import BurstyTraffic
 from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.markov import MarkovModulatedTraffic
+from repro.traffic.paretoburst import ParetoBurstTraffic
+from repro.traffic.replay import TraceReplayTraffic
 from repro.traffic.values import pareto_values, two_value, uniform_values, unit_values
 
 #: Every observable field of a SimulationResult, logs included.
@@ -70,6 +74,18 @@ TRAFFICS = [
         n, n, load=1.4, hot_fraction=0.6, value_model=uniform_values(1, 50))),
     ("bursty-twovalue", lambda n: BurstyTraffic(
         n, n, burst_load=2.2, value_model=two_value(10, 0.3))),
+    # The PR 2 traffic models: the kernel must match the seed engine on
+    # every regime the scenario catalog can express, not just the
+    # original three.
+    ("markov-uniform", lambda n: MarkovModulatedTraffic(
+        n, n, loads=(0.2, 1.0, 2.8), value_model=uniform_values(1, 20))),
+    ("paretoburst-exp", lambda n: ParetoBurstTraffic(
+        n, n, shape=1.5, p_start=0.3, burst_load=1.8,
+        value_model=uniform_values(1, 10))),
+    # Replay tiles a recorded adversarial gadget (carries its own unit
+    # values) across the horizon; generation is seed-independent.
+    ("replay-gadget", lambda n: TraceReplayTraffic(
+        burst_reject_gadget(n=n, b_in=2, n_rounds=3), repeat=True)),
 ]
 
 CIOQ_POLICIES = [("gm", GMPolicy), ("pg", PGPolicy), ("fifo", FifoCIOQPolicy)]

@@ -38,6 +38,7 @@ class TestMetadata:
         import repro.offline
         import repro.scheduling
         import repro.simulation
+        import repro.stats
         import repro.switch
         import repro.theory
         import repro.traffic
@@ -49,6 +50,7 @@ class TestMetadata:
             repro.offline,
             repro.scheduling,
             repro.simulation,
+            repro.stats,
             repro.switch,
             repro.theory,
             repro.traffic,
@@ -140,18 +142,43 @@ class TestDocsConsistency:
         parser = build_parser()
         verbs = subcommands(parser)
         scenario_verbs = subcommands(verbs["scenarios"])
+        stats_verbs = subcommands(verbs["stats"])
 
         docs = "".join(
             p.read_text()
             for p in (ROOT / "README.md", ROOT / "EXPERIMENTS.md",
                       ROOT / "docs" / "scenarios.md",
-                      ROOT / "docs" / "traffic_models.md")
+                      ROOT / "docs" / "traffic_models.md",
+                      ROOT / "docs" / "statistics.md")
         )
         for verb in set(re.findall(r"python -m repro\.cli (\w+)", docs)):
             assert verb in verbs, f"docs reference unknown CLI verb {verb!r}"
         for sub in set(re.findall(r"repro(?:\.cli)? scenarios (\w+)", docs)):
             assert sub in scenario_verbs, (
                 f"docs reference unknown `scenarios` subcommand {sub!r}"
+            )
+        for sub in set(re.findall(r"repro(?:\.cli)? stats (\w+)", docs)):
+            assert sub in stats_verbs, (
+                f"docs reference unknown `stats` subcommand {sub!r}"
+            )
+
+    def test_statistics_docs_match_code(self):
+        """docs/statistics.md must document every summary column and
+        every replicates-block key — the statistics reference and the
+        code cannot drift apart (mirrors the scenario-catalog test)."""
+        from repro.scenarios.spec import REPLICATES_DEFAULTS
+        from repro.stats import SUMMARY_COLUMNS
+
+        text = (ROOT / "docs" / "statistics.md").read_text()
+        for column in SUMMARY_COLUMNS:
+            assert f"`{column}`" in text, (
+                f"docs/statistics.md does not document summary column "
+                f"{column!r}"
+            )
+        for key in list(REPLICATES_DEFAULTS) + ["target_half_width"]:
+            assert f"`{key}`" in text, (
+                f"docs/statistics.md does not document replicates key "
+                f"{key!r}"
             )
 
     def test_traffic_and_value_kinds_documented(self):

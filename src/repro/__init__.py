@@ -34,77 +34,102 @@ Quickstart::
           f"ratio {opt.benefit / onl.benefit:.3f}  (Theorem 1 bound: 3)")
 """
 
+from importlib import import_module
+
 from ._version import PAPER, __version__
-from .core import (
-    BETA_STAR,
-    CGU_RATIO,
-    CGUPolicy,
-    CPGPolicy,
-    GM_RATIO,
-    GMPolicy,
-    PGPolicy,
-    cpg_optimal_params,
-    cpg_optimal_ratio,
-    cpg_ratio,
-    pg_optimal_beta,
-    pg_optimal_ratio,
-    pg_ratio,
-)
-from .offline import (
-    cioq_opt,
-    cioq_upper_bound,
-    crossbar_opt,
-)
-from .scheduling import (
-    CIOQPolicy,
-    CrossbarPolicy,
-    MaxMatchPolicy,
-    MaxWeightMatchPolicy,
-    RandomMatchPolicy,
-    RoundRobinPolicy,
-)
-from .parallel import SweepExecutor, SweepPoint, run_sweep_point
-from .scenarios import (
-    ScenarioRun,
-    ScenarioSpec,
-    all_scenarios,
-    get_scenario,
-    register_scenario,
-    run_scenario,
-    scenario_names,
-    write_artifacts,
-)
-from .simulation import SimulationResult, run_cioq, run_crossbar
-from .stats import (
-    ReplicatedRun,
-    ReplicationPlan,
-    Welford,
-    replicate_scenario,
-    summarize_artifact,
-    write_replicated_artifacts,
-)
-from .switch import (
-    CIOQSwitch,
-    CrossbarSwitch,
-    Packet,
-    SwitchConfig,
-    render_cioq,
-    render_crossbar,
-)
-from .traffic import (
-    BernoulliTraffic,
-    BurstyTraffic,
-    DiagonalTraffic,
-    HotspotTraffic,
-    MarkovModulatedTraffic,
-    ParetoBurstTraffic,
-    Trace,
-    TraceReplayTraffic,
-    pareto_values,
-    two_value,
-    uniform_values,
-    unit_values,
-)
+
+# Public names resolve lazily (PEP 562): ``import repro`` stays cheap
+# and — crucially — numpy-free, so the reference simulation backend
+# imports and runs on a bare Python install (see docs/backends.md).
+# Subsystems that genuinely need numpy (traffic generators, the exact
+# offline optimum, the fast backend) only import it when first touched.
+_EXPORTS = {
+    # core algorithms
+    "BETA_STAR": ".core",
+    "CGU_RATIO": ".core",
+    "CGUPolicy": ".core",
+    "CPGPolicy": ".core",
+    "GM_RATIO": ".core",
+    "GMPolicy": ".core",
+    "PGPolicy": ".core",
+    "cpg_optimal_params": ".core",
+    "cpg_optimal_ratio": ".core",
+    "cpg_ratio": ".core",
+    "pg_optimal_beta": ".core",
+    "pg_optimal_ratio": ".core",
+    "pg_ratio": ".core",
+    # offline optimum
+    "cioq_opt": ".offline",
+    "cioq_upper_bound": ".offline",
+    "crossbar_opt": ".offline",
+    # scheduling
+    "CIOQPolicy": ".scheduling",
+    "CrossbarPolicy": ".scheduling",
+    "MaxMatchPolicy": ".scheduling",
+    "MaxWeightMatchPolicy": ".scheduling",
+    "RandomMatchPolicy": ".scheduling",
+    "RoundRobinPolicy": ".scheduling",
+    # parallel sweep substrate
+    "SweepExecutor": ".parallel",
+    "SweepPoint": ".parallel",
+    "run_sweep_point": ".parallel",
+    # scenario subsystem
+    "ScenarioRun": ".scenarios",
+    "ScenarioSpec": ".scenarios",
+    "all_scenarios": ".scenarios",
+    "get_scenario": ".scenarios",
+    "register_scenario": ".scenarios",
+    "run_scenario": ".scenarios",
+    "scenario_names": ".scenarios",
+    "write_artifacts": ".scenarios",
+    # simulation
+    "SimulationResult": ".simulation",
+    "run_cioq": ".simulation",
+    "run_crossbar": ".simulation",
+    # replication & statistics
+    "ReplicatedRun": ".stats",
+    "ReplicationPlan": ".stats",
+    "Welford": ".stats",
+    "replicate_scenario": ".stats",
+    "summarize_artifact": ".stats",
+    "write_replicated_artifacts": ".stats",
+    # switch
+    "CIOQSwitch": ".switch",
+    "CrossbarSwitch": ".switch",
+    "Packet": ".switch",
+    "SwitchConfig": ".switch",
+    "render_cioq": ".switch",
+    "render_crossbar": ".switch",
+    # traffic
+    "BernoulliTraffic": ".traffic",
+    "BurstyTraffic": ".traffic",
+    "DiagonalTraffic": ".traffic",
+    "HotspotTraffic": ".traffic",
+    "MarkovModulatedTraffic": ".traffic",
+    "ParetoBurstTraffic": ".traffic",
+    "Trace": ".traffic",
+    "TraceReplayTraffic": ".traffic",
+    "pareto_values": ".traffic",
+    "two_value": ".traffic",
+    "uniform_values": ".traffic",
+    "unit_values": ".traffic",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "PAPER",

@@ -231,7 +231,8 @@ def cmd_sweep(args) -> int:
                                seed=seed)
                 )
 
-    ex = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir)
+    ex = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir,
+                       backend=args.backend)
     payloads = iter(ex.run(points))
     columns = names + (["OPT"] if args.opt else [])
     rows = []
@@ -370,14 +371,16 @@ def cmd_scenarios_run(args) -> int:
         except ValueError as exc:
             raise SystemExit(f"bad replication plan: {exc}") from None
         rrun = replicate_scenario(spec, plan=plan, workers=args.workers,
-                                  cache_dir=args.cache_dir)
+                                  cache_dir=args.cache_dir,
+                                  backend=args.backend)
         print(rrun.tables())
         if not args.no_artifacts:
             paths = write_replicated_artifacts(rrun, args.out)
             print(f"artifacts: {'  '.join(paths)}")
         return 0
 
-    run = run_scenario(spec, workers=args.workers, cache_dir=args.cache_dir)
+    run = run_scenario(spec, workers=args.workers, cache_dir=args.cache_dir,
+                       backend=args.backend)
     print(run.tables())
     if not args.no_artifacts:
         json_path, csv_path, toml_path = write_artifacts(run, args.out)
@@ -431,6 +434,15 @@ def cmd_constants(args) -> int:
     print(format_table(rows, title="paper constants (Theorems 2 and 4)"))
     ok = report["pg_consistent"] and report["cpg_consistent"]
     return 0 if ok else 1
+
+
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    from .simulation.backends import BACKENDS, DEFAULT_BACKEND
+
+    p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                   help="slot-loop backend: reference (pure Python), "
+                        "fast (vectorized numpy, bit-identical), or auto "
+                        "(fast when possible; see docs/backends.md)")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -492,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on-disk result cache directory")
     p_sweep.add_argument("--opt", action="store_true",
                          help="include the exact-OPT column")
+    _add_backend(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_scen = sub.add_parser(
@@ -543,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "for the target metric is at most this")
     s_run.add_argument("--batch", type=int, default=None,
                        help="seeds per early-stopping batch")
+    _add_backend(s_run)
     s_run.set_defaults(func=cmd_scenarios_run)
 
     s_export = scen_sub.add_parser(

@@ -40,7 +40,13 @@ from multiprocessing import get_context
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from .offline.opt import cioq_opt, crossbar_opt
-from .simulation.engine import run_cioq, run_crossbar
+from .simulation.backends import DEFAULT_BACKEND, validate_backend
+from .simulation.engine import (
+    run_cioq,
+    run_cioq_batch,
+    run_crossbar,
+    run_crossbar_batch,
+)
 from .switch.config import SwitchConfig
 from .traffic.trace import Trace
 
@@ -102,7 +108,18 @@ def describe_factory(factory: Optional[PolicyFactory]) -> str:
     return repr(factory)  # pragma: no cover - exotic factories defeat caching
 
 
-def run_sweep_point(point: SweepPoint) -> Dict[str, object]:
+def _policy_payload(res, point: SweepPoint) -> Dict[str, object]:
+    """Payload dict for a policy point from its simulation result."""
+    payload = res.as_payload()
+    payload["trace"] = point.trace.name
+    payload["seed"] = point.seed
+    payload["tag"] = dict(point.tag)
+    return payload
+
+
+def run_sweep_point(
+    point: SweepPoint, backend: str = DEFAULT_BACKEND
+) -> Dict[str, object]:
     """Execute one sweep point; pure function of the point.
 
     Returns a JSON-serializable payload.  For policy points::
@@ -116,21 +133,22 @@ def run_sweep_point(point: SweepPoint) -> Dict[str, object]:
     For OPT points (``policy_factory is None``)::
 
         {"policy": "OPT", "benefit", "trace", "seed", "tag"}
+
+    ``backend`` selects the slot-loop execution backend for policy
+    points (see :mod:`repro.simulation.backends`); by the bit-identical
+    backend contract it never changes the payload.  OPT points always
+    solve with the exact offline machinery.
     """
-    tag = dict(point.tag)
     if point.policy_factory is None:
         solver = cioq_opt if point.model == "cioq" else crossbar_opt
         opt = solver(point.trace, point.config)
         return {"policy": "OPT", "benefit": opt.benefit,
-                "trace": point.trace.name, "seed": point.seed, "tag": tag}
+                "trace": point.trace.name, "seed": point.seed,
+                "tag": dict(point.tag)}
     policy = point.policy_factory()
     runner = run_cioq if point.model == "cioq" else run_crossbar
-    res = runner(policy, point.config, point.trace)
-    payload = res.as_payload()
-    payload["trace"] = point.trace.name
-    payload["seed"] = point.seed
-    payload["tag"] = tag
-    return payload
+    res = runner(policy, point.config, point.trace, backend=backend)
+    return _policy_payload(res, point)
 
 
 class SweepExecutor:
@@ -149,6 +167,17 @@ class SweepExecutor:
         :data:`CACHE_VERSION`, so any input change misses cleanly.
     chunk_size:
         Tasks per pool chunk; default ``ceil(pending / (4 * workers))``.
+    backend:
+        Slot-loop execution backend for policy points (see
+        :mod:`repro.simulation.backends`).  With ``"fast"`` or
+        ``"auto"``, uncached policy points are grouped by (model,
+        config, policy spec) and executed in lockstep through the
+        batched engine entry points *before* any process pool runs —
+        the vectorized kernel is the parallelism; only leftover points
+        (exact-OPT solves) fan out over workers.  The backend is
+        deliberately **not** part of the cache key: backends are
+        bit-identical by contract, so cached payloads are
+        interchangeable.
     """
 
     def __init__(
@@ -156,10 +185,13 @@ class SweepExecutor:
         workers: int = 0,
         cache_dir: Optional[str] = None,
         chunk_size: Optional[int] = None,
+        backend: str = DEFAULT_BACKEND,
     ):
+        validate_backend(backend)
         self.workers = int(workers or 0)
         self.cache_dir = cache_dir
         self.chunk_size = chunk_size
+        self.backend = backend
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -225,16 +257,63 @@ class SweepExecutor:
                 pending.append(idx)
         self.cache_misses += len(pending)
 
+        if pending and self.backend != "reference":
+            pending = self._run_batched(points, results, keys, pending)
         if pending:
             if self.workers > 1 and len(pending) > 1:
                 payloads = self._run_pool([points[i] for i in pending])
             else:
-                payloads = [run_sweep_point(points[i]) for i in pending]
+                payloads = [run_sweep_point(points[i], backend=self.backend)
+                            for i in pending]
             for idx, payload in zip(pending, payloads):
                 if caching:
                     self._cache_put(keys[idx], payload)
                 results[idx] = payload
         return results  # type: ignore[return-value]
+
+    def _run_batched(
+        self,
+        points: Sequence[SweepPoint],
+        results: List[Optional[Dict[str, object]]],
+        keys: Optional[List[str]],
+        pending: List[int],
+    ) -> List[int]:
+        """Run pending policy points through the batched engine entry
+        points, grouped by (model, config, policy spec) so seed ladders
+        execute in lockstep.  Returns the indices left for the normal
+        path (OPT points).  ``backend="auto"`` groups fall back to
+        serial reference runs inside the engine when the fast kernel
+        cannot take them; ``backend="fast"`` propagates the error.
+        """
+        groups: Dict[tuple, List[int]] = {}
+        leftover: List[int] = []
+        for idx in pending:
+            point = points[idx]
+            if point.policy_factory is None:
+                leftover.append(idx)
+                continue
+            c = point.config
+            key = (
+                point.model,
+                (c.n_in, c.n_out, c.speedup, c.b_in, c.b_out, c.b_cross),
+                describe_factory(point.policy_factory),
+            )
+            groups.setdefault(key, []).append(idx)
+        for (model, _config, _spec), idxs in groups.items():
+            first = points[idxs[0]]
+            runner = run_cioq_batch if model == "cioq" else run_crossbar_batch
+            batch = runner(
+                first.policy_factory,
+                first.config,
+                [points[i].trace for i in idxs],
+                backend=self.backend,
+            )
+            for idx, res in zip(idxs, batch):
+                payload = _policy_payload(res, points[idx])
+                if keys is not None:
+                    self._cache_put(keys[idx], payload)
+                results[idx] = payload
+        return leftover
 
     def _run_pool(self, points: List[SweepPoint]) -> List[Dict[str, object]]:
         workers = min(self.workers, len(points))

@@ -37,6 +37,7 @@ from .._version import __version__
 from ..analysis.ratio import per_seed_ratios
 from ..analysis.report import csv_table, format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..simulation.backends import DEFAULT_BACKEND
 from .spec import ScenarioSpec
 
 #: Bump when the artifact schema changes (consumers check this).
@@ -93,14 +94,17 @@ def run_scenario(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> ScenarioRun:
     """Execute a scenario; pure function of the spec.
 
-    ``workers``/``cache_dir`` build a fresh executor unless one is
-    passed explicitly.  Results are bit-identical for any worker count.
+    ``workers``/``cache_dir``/``backend`` build a fresh executor unless
+    one is passed explicitly (then the executor's own backend applies).
+    Results are bit-identical for any worker count and — by the backend
+    contract (see :mod:`repro.simulation.backends`) — for any backend.
     """
     ex = executor if executor is not None else SweepExecutor(
-        workers=workers, cache_dir=cache_dir
+        workers=workers, cache_dir=cache_dir, backend=backend
     )
     config = spec.build_config()
     traffic = spec.build_traffic()

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
 from ..switch.cioq import CIOQSwitch, Transfer
 from ..switch.crossbar import CrossbarSwitch, InputTransfer, OutputTransfer
 from ..switch.packet import Packet
@@ -138,10 +136,18 @@ class RandomMatchPolicy(CIOQPolicy):
     name = "RandomMatch"
 
     def __init__(self, seed: int = 0):
+        # numpy is imported lazily so the module (and the reference
+        # backend's whole import chain) works without it; only actually
+        # constructing a RandomMatchPolicy requires numpy's bit-exact
+        # PCG64 stream.
+        import numpy as np
+
         self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def reset(self, switch: CIOQSwitch) -> None:
+        import numpy as np
+
         self._rng = np.random.default_rng(self.seed)
 
     def on_arrival(self, switch: CIOQSwitch, packet: Packet) -> ArrivalDecision:

@@ -37,6 +37,13 @@ from ..switch.config import SwitchConfig
 from ..switch.crossbar import CrossbarSwitch
 from ..switch.packet import Packet
 from ..traffic.trace import Trace
+from .backends import (
+    DEFAULT_BACKEND,
+    BackendUnavailable,
+    BackendUnsupported,
+    load_fastpath,
+    validate_backend,
+)
 from .kernel import NULL_RECORDER, LogRecorder, run_slot_loop
 from .results import SimulationResult
 
@@ -75,6 +82,40 @@ def _make_result(
 # CIOQ runs
 # ---------------------------------------------------------------------------
 
+def _dispatch_single(
+    model: str,
+    policy,
+    config: SwitchConfig,
+    trace: Trace,
+    backend: str,
+    record: bool,
+    max_extra_slots: Optional[int],
+    check_invariants: bool,
+    trace_occupancy: bool,
+) -> Optional[SimulationResult]:
+    """Try the ``fast`` backend for a single run; return ``None`` when
+    the caller should take the reference path instead."""
+    validate_backend(backend)
+    if backend == "reference":
+        return None
+    try:
+        fastpath = load_fastpath()
+        return fastpath.run_single(
+            model,
+            policy,
+            config,
+            trace,
+            record=record,
+            max_extra_slots=max_extra_slots,
+            check_invariants=check_invariants,
+            trace_occupancy=trace_occupancy,
+        )
+    except (BackendUnavailable, BackendUnsupported):
+        if backend == "fast":
+            raise
+        return None
+
+
 def run_cioq(
     policy: CIOQPolicy,
     config: SwitchConfig,
@@ -83,6 +124,7 @@ def run_cioq(
     max_extra_slots: Optional[int] = None,
     check_invariants: bool = False,
     trace_occupancy: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> SimulationResult:
     """Simulate ``policy`` on a CIOQ switch over ``trace``.
 
@@ -102,8 +144,19 @@ def run_cioq(
         Record end-of-slot buffer occupancy totals into
         ``result.occupancy`` (schema documented on
         :class:`~repro.simulation.results.SimulationResult`).
+    backend:
+        Slot-loop execution backend (see
+        :mod:`repro.simulation.backends`): ``reference`` (default),
+        ``fast`` (vectorized numpy, bit-identical by contract), or
+        ``auto`` (fast when possible, falling back to reference).
     """
     _check_dims(trace, config)
+    fast = _dispatch_single(
+        "cioq", policy, config, trace, backend,
+        record, max_extra_slots, check_invariants, trace_occupancy,
+    )
+    if fast is not None:
+        return fast
     switch = CIOQSwitch(config)
     policy.reset(switch)
     extra = drain_bound(config) if max_extra_slots is None else max_extra_slots
@@ -129,6 +182,7 @@ def run_cioq_streaming(
     source: Callable[[int, CIOQSwitch], Sequence[ArrivalSpec]],
     n_slots: int,
     record: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> SimulationResult:
     """Like :func:`run_cioq` but with arrivals produced online by
     ``source(slot, switch)`` — used by adaptive adversaries that inspect
@@ -138,7 +192,17 @@ def run_cioq_streaming(
     arrival phase of each); afterwards the switch drains.  Packet ids
     are assigned in arrival-event order, exactly as
     :class:`~repro.traffic.base.TrafficModel` does for batch traces.
+
+    Streaming sources observe online switch state, so the vectorized
+    backend cannot run them: ``backend="fast"`` raises
+    :class:`~repro.simulation.backends.BackendUnsupported`, and
+    ``backend="auto"`` silently uses the reference kernel.
     """
+    validate_backend(backend)
+    if backend == "fast":
+        raise BackendUnsupported(
+            "the fast backend does not support streaming arrival sources"
+        )
     switch = CIOQSwitch(config)
     policy.reset(switch)
     horizon = n_slots + drain_bound(config)
@@ -178,6 +242,7 @@ def run_crossbar(
     max_extra_slots: Optional[int] = None,
     check_invariants: bool = False,
     trace_occupancy: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> SimulationResult:
     """Simulate ``policy`` on a buffered crossbar switch over ``trace``.
 
@@ -188,6 +253,12 @@ def run_crossbar(
     :func:`run_cioq`.
     """
     _check_dims(trace, config)
+    fast = _dispatch_single(
+        "crossbar", policy, config, trace, backend,
+        record, max_extra_slots, check_invariants, trace_occupancy,
+    )
+    if fast is not None:
+        return fast
     switch = CrossbarSwitch(config)
     policy.reset(switch)
     extra = drain_bound(config) if max_extra_slots is None else max_extra_slots
@@ -204,4 +275,88 @@ def run_crossbar(
         recorder=LogRecorder(result) if record else NULL_RECORDER,
         check_invariants=check_invariants,
         trace_occupancy=trace_occupancy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched runs (seed ladders)
+# ---------------------------------------------------------------------------
+
+def _run_batch(
+    model: str,
+    single_runner,
+    policy_factory: Callable[[], object],
+    config: SwitchConfig,
+    traces: Sequence[Trace],
+    max_extra_slots: Optional[int],
+    trace_occupancy: bool,
+    backend: str,
+) -> List[SimulationResult]:
+    validate_backend(backend)
+    traces = list(traces)
+    if backend != "reference" and traces:
+        try:
+            fastpath = load_fastpath()
+            for trace in traces:
+                _check_dims(trace, config)
+            return fastpath.run_batch(
+                model,
+                policy_factory(),
+                config,
+                traces,
+                max_extra_slots=max_extra_slots,
+                trace_occupancy=trace_occupancy,
+            )
+        except (BackendUnavailable, BackendUnsupported):
+            if backend == "fast":
+                raise
+    return [
+        single_runner(
+            policy_factory(),
+            config,
+            trace,
+            max_extra_slots=max_extra_slots,
+            trace_occupancy=trace_occupancy,
+        )
+        for trace in traces
+    ]
+
+
+def run_cioq_batch(
+    policy_factory: Callable[[], CIOQPolicy],
+    config: SwitchConfig,
+    traces: Sequence[Trace],
+    *,
+    max_extra_slots: Optional[int] = None,
+    trace_occupancy: bool = False,
+    backend: str = DEFAULT_BACKEND,
+) -> List[SimulationResult]:
+    """Run a fresh policy (one per trace, built by ``policy_factory``)
+    over every trace, returning results in trace order.
+
+    With ``backend="fast"`` or ``"auto"`` the whole batch executes in
+    lockstep inside the vectorized kernel — this is how replicate seed
+    ladders amortize the slot loop.  The reference backend runs the
+    traces serially; by the bit-identical backend contract both produce
+    exactly the same results.
+    """
+    return _run_batch(
+        "cioq", run_cioq, policy_factory, config, traces,
+        max_extra_slots, trace_occupancy, backend,
+    )
+
+
+def run_crossbar_batch(
+    policy_factory: Callable[[], CrossbarPolicy],
+    config: SwitchConfig,
+    traces: Sequence[Trace],
+    *,
+    max_extra_slots: Optional[int] = None,
+    trace_occupancy: bool = False,
+    backend: str = DEFAULT_BACKEND,
+) -> List[SimulationResult]:
+    """Crossbar counterpart of :func:`run_cioq_batch`."""
+    return _run_batch(
+        "crossbar", run_crossbar, policy_factory, config, traces,
+        max_extra_slots, trace_occupancy, backend,
     )

@@ -36,6 +36,7 @@ from ..scenarios.runner import (
     write_artifacts,
 )
 from ..scenarios.spec import REPLICATES_DEFAULTS, ScenarioSpec
+from ..simulation.backends import DEFAULT_BACKEND
 from .ci import half_width
 from .summarize import (
     SUMMARY_COLUMNS,
@@ -175,13 +176,18 @@ def replicate_scenario(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> ReplicatedRun:
     """Run ``spec`` across the plan's replicate seeds; pure function of
     (spec, plan).
 
     Without a plan argument, the spec's own ``replicates`` block is
     used (it must be non-empty).  Results — per-seed artifact and
-    summary rows alike — are bit-identical for any worker count.
+    summary rows alike — are bit-identical for any worker count, and by
+    the backend contract for any ``backend``: with ``"fast"``/``"auto"``
+    each seed batch's (policy, seed) ladder executes in lockstep inside
+    the vectorized kernel (see :class:`~repro.parallel.SweepExecutor`),
+    which is where multi-seed replication amortizes the slot loop.
     """
     if plan is None:
         if not spec.replicates:
@@ -191,7 +197,7 @@ def replicate_scenario(
             )
         plan = ReplicationPlan.from_spec(spec)
     ex = executor if executor is not None else SweepExecutor(
-        workers=workers, cache_dir=cache_dir
+        workers=workers, cache_dir=cache_dir, backend=backend
     )
 
     all_seeds = plan.seeds()

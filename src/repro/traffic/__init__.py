@@ -1,42 +1,63 @@
-"""Traffic substrate: traces, value models and arrival generators."""
+"""Traffic substrate: traces, value models and arrival generators.
 
-from .trace import Trace
-from .values import (
-    ValueModel,
-    exponential_values,
-    geometric_class_values,
-    pareto_values,
-    two_value,
-    uniform_values,
-    unit_values,
-)
-from .base import TrafficModel
-from .transforms import (
-    concat,
-    map_values,
-    merge,
-    restrict_ports,
-    scale_values,
-    time_dilate,
-)
-from .bernoulli import BernoulliTraffic
-from .bursty import BurstyTraffic
-from .hotspot import DiagonalTraffic, HotspotTraffic
-from .markov import MarkovModulatedTraffic
-from .paretoburst import ParetoBurstTraffic
-from .replay import TraceReplayTraffic
-from .adversarial import (
-    AdaptiveAdversary,
-    FullQueuePressureAdversary,
-    PreemptionBaitAdversary,
-    RotatingBurstAdversary,
-    SingleOutputOverloadAdversary,
-    beta_admission_gadget,
-    burst_reject_gadget,
-    escalating_values_gadget,
-    generate_adaptive_trace,
-    two_value_contention_gadget,
-)
+Names resolve lazily (PEP 562): :class:`~repro.traffic.trace.Trace` is
+pure Python and the reference simulation backend depends on it, so this
+package must import without numpy — the generators (which do need
+numpy's bit-exact PCG64 streams) only load when first touched.
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    "Trace": ".trace",
+    "ValueModel": ".values",
+    "exponential_values": ".values",
+    "geometric_class_values": ".values",
+    "pareto_values": ".values",
+    "two_value": ".values",
+    "uniform_values": ".values",
+    "unit_values": ".values",
+    "TrafficModel": ".base",
+    "concat": ".transforms",
+    "map_values": ".transforms",
+    "merge": ".transforms",
+    "restrict_ports": ".transforms",
+    "scale_values": ".transforms",
+    "time_dilate": ".transforms",
+    "BernoulliTraffic": ".bernoulli",
+    "BurstyTraffic": ".bursty",
+    "DiagonalTraffic": ".hotspot",
+    "HotspotTraffic": ".hotspot",
+    "MarkovModulatedTraffic": ".markov",
+    "ParetoBurstTraffic": ".paretoburst",
+    "TraceReplayTraffic": ".replay",
+    "AdaptiveAdversary": ".adversarial",
+    "FullQueuePressureAdversary": ".adversarial",
+    "PreemptionBaitAdversary": ".adversarial",
+    "RotatingBurstAdversary": ".adversarial",
+    "SingleOutputOverloadAdversary": ".adversarial",
+    "beta_admission_gadget": ".adversarial",
+    "burst_reject_gadget": ".adversarial",
+    "escalating_values_gadget": ".adversarial",
+    "generate_adaptive_trace": ".adversarial",
+    "two_value_contention_gadget": ".adversarial",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "Trace",

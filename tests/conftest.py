@@ -1,15 +1,25 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+This module must import without numpy so the no-numpy CI job (which
+exercises the reference backend on a bare install) can collect the
+numpy-free test files; fixtures that genuinely need numpy-backed
+traffic generators import it lazily and skip when it is missing.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.switch.config import SwitchConfig
 from repro.switch.packet import Packet
-from repro.traffic.bernoulli import BernoulliTraffic
 from repro.traffic.trace import Trace
-from repro.traffic.values import two_value, uniform_values, unit_values
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy job
+    np = None
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy not installed")
 
 
 @pytest.fixture
@@ -33,6 +43,11 @@ def tiny_config() -> SwitchConfig:
 @pytest.fixture
 def unit_trace(small_config) -> Trace:
     """A deterministic unit-value trace for the small config."""
+    if np is None:
+        pytest.skip("numpy not installed")
+    from repro.traffic.bernoulli import BernoulliTraffic
+    from repro.traffic.values import unit_values
+
     return BernoulliTraffic(3, 3, load=1.0, value_model=unit_values()).generate(
         20, seed=42
     )
@@ -41,6 +56,11 @@ def unit_trace(small_config) -> Trace:
 @pytest.fixture
 def weighted_trace(small_config) -> Trace:
     """A deterministic weighted trace for the small config."""
+    if np is None:
+        pytest.skip("numpy not installed")
+    from repro.traffic.bernoulli import BernoulliTraffic
+    from repro.traffic.values import uniform_values
+
     return BernoulliTraffic(
         3, 3, load=1.2, value_model=uniform_values(1, 50)
     ).generate(20, seed=42)
@@ -48,6 +68,11 @@ def weighted_trace(small_config) -> Trace:
 
 @pytest.fixture
 def two_value_trace() -> Trace:
+    if np is None:
+        pytest.skip("numpy not installed")
+    from repro.traffic.bernoulli import BernoulliTraffic
+    from repro.traffic.values import two_value
+
     return BernoulliTraffic(
         3, 3, load=1.3, value_model=two_value(alpha=10.0, p_high=0.3)
     ).generate(20, seed=7)
@@ -67,5 +92,7 @@ def packets_factory():
 
 
 @pytest.fixture
-def rng() -> np.random.Generator:
+def rng() -> "np.random.Generator":
+    if np is None:
+        pytest.skip("numpy not installed")
     return np.random.default_rng(1234)

@@ -192,6 +192,68 @@ class TestDocsConsistency:
                 f"docs/traffic_models.md does not document kind {kind!r}"
             )
 
+    def test_backend_registry_matches_docs(self):
+        """Every registered backend has a `### <name>` section in
+        docs/backends.md and vice versa — the backend reference and the
+        registry cannot drift apart (mirrors the scenario-catalog
+        test)."""
+        import re
+
+        from repro.simulation.backends import BACKENDS
+
+        text = (ROOT / "docs" / "backends.md").read_text()
+        documented = set(re.findall(r"^### ([a-z0-9-]+)\s*$", text,
+                                    flags=re.MULTILINE))
+        registered = set(BACKENDS)
+        assert registered - documented == set(), (
+            f"backends missing from docs/backends.md: "
+            f"{sorted(registered - documented)}"
+        )
+        assert documented - registered == set(), (
+            f"docs/backends.md documents unregistered backends: "
+            f"{sorted(documented - registered)}"
+        )
+
+    def test_bench_engine_snapshot_committed_and_sane(self):
+        """BENCH_engine.json (written by benchmarks/bench_engine.py)
+        must be committed, deterministic in shape (sorted keys, trailing
+        newline, no timestamps), cover the advertised grid, and show the
+        fast backend's headline speedup (>=10x on some N>=32 row)."""
+        import json
+
+        path = ROOT / "BENCH_engine.json"
+        assert path.exists(), (
+            "BENCH_engine.json is missing; regenerate with "
+            "`python benchmarks/bench_engine.py`"
+        )
+        raw = path.read_text()
+        snapshot = json.loads(raw)
+        canonical = json.dumps(snapshot, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n"
+        assert raw == canonical, (
+            "BENCH_engine.json is not in canonical form "
+            "(indent=2, sort_keys, trailing newline)"
+        )
+        assert "time" not in str(sorted(snapshot)) and "date" not in str(
+            sorted(snapshot)
+        )
+        assert snapshot["schema"] == 1
+        rows = snapshot["rows"]
+        for row in rows:
+            assert set(row) == {
+                "policy", "model", "n_ports", "batch", "arrival_slots",
+                "reference_slots_per_sec", "fast_slots_per_sec", "speedup",
+            }
+            assert row["speedup"] > 0
+        cells = {(r["policy"], r["n_ports"]) for r in rows}
+        for n in (8, 32, 64, 128, 256):
+            for policy in ("gm", "pg", "cgu"):
+                assert (policy, n) in cells, f"missing bench cell {policy}@{n}"
+        best = max(r["speedup"] for r in rows if r["n_ports"] >= 32)
+        assert best >= 10.0, (
+            f"fast backend's best large-N speedup regressed to {best}x"
+        )
+
     def test_paper_mapping_module_references_resolve(self):
         """Every `repro.x.y` dotted path in docs/paper_mapping.md must
         import."""

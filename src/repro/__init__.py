@@ -59,9 +59,14 @@ _EXPORTS = {
     "pg_optimal_ratio": ".core",
     "pg_ratio": ".core",
     # offline optimum
+    "OPT_MODES": ".offline",
+    "bounds_opt": ".offline",
     "cioq_opt": ".offline",
     "cioq_upper_bound": ".offline",
     "crossbar_opt": ".offline",
+    "select_opt_mode": ".offline",
+    "solve_opt": ".offline",
+    "windowed_opt": ".offline",
     # scheduling
     "CIOQPolicy": ".scheduling",
     "CrossbarPolicy": ".scheduling",
@@ -152,6 +157,11 @@ __all__ = [
     "cioq_opt",
     "crossbar_opt",
     "cioq_upper_bound",
+    "solve_opt",
+    "select_opt_mode",
+    "windowed_opt",
+    "bounds_opt",
+    "OPT_MODES",
     # scheduling
     "CIOQPolicy",
     "CrossbarPolicy",

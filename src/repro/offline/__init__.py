@@ -5,7 +5,21 @@ from .timegraph import CIOQOptModel, OptResult, cioq_relaxation_bound, default_h
 from .crossbar_timegraph import CrossbarOptModel
 from .bruteforce import bruteforce_cioq_opt_unit
 from .decompose import OptSchedule, PacketItinerary, decompose_cioq_opt
-from .opt import cioq_opt, cioq_upper_bound, crossbar_opt
+from .bounds import bounds_opt, capacity_upper_bound, greedy_lower_bound
+from .windowed import (
+    subtrace,
+    window_boundaries,
+    window_drain_slots,
+    windowed_opt,
+)
+from .opt import (
+    OPT_MODES,
+    cioq_opt,
+    cioq_upper_bound,
+    crossbar_opt,
+    select_opt_mode,
+    solve_opt,
+)
 
 __all__ = [
     "MinCostFlow",
@@ -18,7 +32,17 @@ __all__ = [
     "OptSchedule",
     "PacketItinerary",
     "decompose_cioq_opt",
+    "bounds_opt",
+    "capacity_upper_bound",
+    "greedy_lower_bound",
+    "subtrace",
+    "window_boundaries",
+    "window_drain_slots",
+    "windowed_opt",
+    "OPT_MODES",
     "cioq_opt",
     "cioq_upper_bound",
     "crossbar_opt",
+    "select_opt_mode",
+    "solve_opt",
 ]

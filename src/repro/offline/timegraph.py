@@ -44,7 +44,16 @@ from .mcmf import MinCostFlow
 
 @dataclass
 class OptResult:
-    """Outcome of an offline-optimum computation."""
+    """Outcome of an offline-optimum computation.
+
+    Exact solves report ``benefit`` alone; the windowed and bounds
+    solvers (:mod:`repro.offline.windowed`, :mod:`repro.offline.bounds`)
+    additionally certify a bracket ``opt_lower <= OPT <= opt_upper`` and
+    set ``benefit = opt_upper`` (the conservative denominator for
+    competitive ratios).  ``mode`` records which solver produced the
+    result so downstream consumers never mistake a bracket for an exact
+    optimum.
+    """
 
     benefit: float
     n_delivered: int
@@ -54,6 +63,38 @@ class OptResult:
     departures: List[Tuple[int, int, int, int]] = field(default_factory=list)
     #: Transmission events: (slot, j) with multiplicity.
     transmissions: List[Tuple[int, int]] = field(default_factory=list)
+    #: Which solver produced the result: "exact", "windowed" or "bounds".
+    mode: str = "exact"
+    #: Certified bracket ends; ``None`` means "exact" (both equal benefit).
+    opt_lower: Optional[float] = None
+    opt_upper: Optional[float] = None
+    #: Window width in arrival slots (windowed mode only).
+    window: Optional[int] = None
+    #: Number of windows the trace was split into (1 for exact/bounds).
+    n_windows: int = 1
+
+    @property
+    def is_exact(self) -> bool:
+        """True when ``benefit`` is the true optimum, not a bracket end."""
+        return self.mode == "exact" or self.bracket_width == 0.0
+
+    @property
+    def bracket(self) -> Tuple[float, float]:
+        """Certified ``(lower, upper)`` bracket on the true OPT value."""
+        if self.opt_lower is None or self.opt_upper is None:
+            return (self.benefit, self.benefit)
+        return (self.opt_lower, self.opt_upper)
+
+    @property
+    def bracket_width(self) -> float:
+        lo, hi = self.bracket
+        return hi - lo
+
+    @property
+    def rel_bracket_width(self) -> float:
+        """Bracket width relative to the upper end (0 for exact)."""
+        lo, hi = self.bracket
+        return 0.0 if hi == 0 else (hi - lo) / hi
 
 
 def default_horizon(trace: Trace, config: SwitchConfig) -> int:

@@ -39,7 +39,7 @@ from functools import partial
 from multiprocessing import get_context
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from .offline.opt import cioq_opt, crossbar_opt
+from .offline.opt import OPT_MODES, cioq_opt, crossbar_opt
 from .simulation.backends import DEFAULT_BACKEND, validate_backend
 from .simulation.engine import (
     run_cioq,
@@ -51,7 +51,7 @@ from .switch.config import SwitchConfig
 from .traffic.trace import Trace
 
 #: Bump when the payload schema changes; part of every cache key.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 PolicyFactory = Callable[[], object]
 
@@ -78,6 +78,11 @@ class SweepPoint:
         Row metadata echoed back untouched into the payload under
         ``"tag"`` — sweep drivers use it to route payloads into table
         rows.
+    opt_mode, opt_window:
+        Offline-optimum solver selection for OPT points (see
+        :mod:`repro.offline.opt`); ignored for policy points.  Both are
+        part of the cache key — an exact OPT payload and a bracketed
+        one are never interchangeable.
     """
 
     model: str
@@ -86,10 +91,16 @@ class SweepPoint:
     policy_factory: Optional[PolicyFactory] = None
     seed: Optional[int] = None
     tag: Mapping[str, object] = field(default_factory=dict)
+    opt_mode: str = "exact"
+    opt_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.model not in ("cioq", "crossbar"):
             raise ValueError(f"unknown switch model {self.model!r}")
+        if self.opt_mode not in OPT_MODES:
+            raise ValueError(
+                f"unknown opt mode {self.opt_mode!r}; expected {OPT_MODES}"
+            )
 
 
 def describe_factory(factory: Optional[PolicyFactory]) -> str:
@@ -132,17 +143,27 @@ def run_sweep_point(
     :meth:`~repro.simulation.results.SimulationResult.as_payload`).
     For OPT points (``policy_factory is None``)::
 
-        {"policy": "OPT", "benefit", "trace", "seed", "tag"}
+        {"policy": "OPT", "benefit", "opt_mode", "opt_lower",
+         "opt_upper", "trace", "seed", "tag"}
+
+    where ``opt_mode`` is the *resolved* solver mode (``"auto"``
+    resolves per point, deterministically in the trace and config),
+    ``opt_lower == opt_upper == benefit`` for exact solves, and
+    ``benefit`` is the conservative bracket upper end otherwise.
 
     ``backend`` selects the slot-loop execution backend for policy
     points (see :mod:`repro.simulation.backends`); by the bit-identical
-    backend contract it never changes the payload.  OPT points always
-    solve with the exact offline machinery.
+    backend contract it never changes the payload.  OPT points solve
+    with the offline machinery selected by the point's ``opt_mode`` /
+    ``opt_window``.
     """
     if point.policy_factory is None:
         solver = cioq_opt if point.model == "cioq" else crossbar_opt
-        opt = solver(point.trace, point.config)
+        opt = solver(point.trace, point.config, mode=point.opt_mode,
+                     window=point.opt_window)
+        lo, hi = opt.bracket
         return {"policy": "OPT", "benefit": opt.benefit,
+                "opt_mode": opt.mode, "opt_lower": lo, "opt_upper": hi,
                 "trace": point.trace.name, "seed": point.seed,
                 "tag": dict(point.tag)}
     policy = point.policy_factory()
@@ -208,6 +229,7 @@ class SweepExecutor:
                 point.trace.to_json().encode("utf-8")
             ).hexdigest(),
             "seed": point.seed,
+            "opt": [point.opt_mode, point.opt_window],
         }
         blob = json.dumps(spec, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()

@@ -42,7 +42,10 @@ from .spec import ScenarioSpec
 
 #: Bump when the artifact schema changes (consumers check this).
 #: v2: the embedded scenario dict gained a ``replicates`` block.
-ARTIFACT_VERSION = 2
+#: v3: an ``opt`` block records the OPT solver mode and window; rows
+#: carry ``OPT_lo``/``OPT_hi`` and aggregates carry ratio brackets when
+#: the solver mode is inexact.
+ARTIFACT_VERSION = 3
 
 #: Default artifact root, relative to the working directory.
 RESULTS_DIR = "results"
@@ -54,13 +57,18 @@ class ScenarioRun:
 
     spec: ScenarioSpec
     #: One row per seed: seed, arrived, then one benefit column per
-    #: policy label (plus OPT when the spec asks for it).
+    #: policy label (plus OPT — and OPT_lo/OPT_hi when the OPT solver
+    #: mode is inexact — when the spec asks for it).
     rows: List[Dict[str, object]]
     #: One row per policy label: mean/min/max benefit over seeds, plus
     #: mean_ratio (OPT / policy, averaged over seeds) when available.
     aggregates: List[Dict[str, object]]
     #: One row per (seed, policy): the spec's selected metrics.
     metrics: List[Dict[str, object]]
+    #: OPT solver selection the run was executed with (recorded in the
+    #: artifact so exact and bracketed denominators are never conflated).
+    opt_mode: str = "exact"
+    opt_window: Optional[int] = None
 
     def artifact(self) -> Dict[str, object]:
         """The versioned, JSON-serializable result record."""
@@ -68,6 +76,7 @@ class ScenarioRun:
             "artifact_version": ARTIFACT_VERSION,
             "repro_version": __version__,
             "scenario": self.spec.to_dict(),
+            "opt": {"mode": self.opt_mode, "window": self.opt_window},
             "rows": self.rows,
             "aggregates": self.aggregates,
             "metrics": self.metrics,
@@ -95,6 +104,8 @@ def run_scenario(
     cache_dir: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
     backend: str = DEFAULT_BACKEND,
+    opt_mode: str = "exact",
+    opt_window: Optional[int] = None,
 ) -> ScenarioRun:
     """Execute a scenario; pure function of the spec.
 
@@ -102,6 +113,13 @@ def run_scenario(
     one is passed explicitly (then the executor's own backend applies).
     Results are bit-identical for any worker count and — by the backend
     contract (see :mod:`repro.simulation.backends`) — for any backend.
+
+    ``opt_mode``/``opt_window`` select the offline-optimum solver for
+    the per-seed OPT points (see :mod:`repro.offline.opt` and
+    ``docs/offline_opt.md``); with an inexact mode the rows carry
+    certified ``OPT_lo``/``OPT_hi`` brackets next to the conservative
+    ``OPT`` column, and the aggregates report ratio brackets instead of
+    an exact-looking mean ratio.
     """
     ex = executor if executor is not None else SweepExecutor(
         workers=workers, cache_dir=cache_dir, backend=backend
@@ -125,7 +143,8 @@ def run_scenario(
         if spec.include_opt:
             points.append(
                 SweepPoint(model=spec.model, config=config, trace=trace,
-                           seed=seed, tag={"policy": "OPT", "seed": seed})
+                           seed=seed, tag={"policy": "OPT", "seed": seed},
+                           opt_mode=opt_mode, opt_window=opt_window)
             )
 
     payloads = iter(ex.run(points))
@@ -133,6 +152,7 @@ def run_scenario(
     metrics: List[Dict[str, object]] = []
     benefits: Dict[str, List[float]] = {label: [] for label in labels}
     opt_benefits: List[float] = []
+    opt_bounds: List[Tuple[float, float]] = []
     for seed in spec.seeds:
         row: Dict[str, object] = {"seed": seed, "arrived": len(traces[seed])}
         for label in labels:
@@ -149,6 +169,12 @@ def run_scenario(
             benefit = float(payload["benefit"])
             opt_benefits.append(benefit)
             row["OPT"] = round(benefit, 6)
+            lo = float(payload.get("opt_lower", benefit))
+            hi = float(payload.get("opt_upper", benefit))
+            opt_bounds.append((lo, hi))
+            if opt_mode != "exact":
+                row["OPT_lo"] = round(lo, 6)
+                row["OPT_hi"] = round(hi, 6)
             metric_row = {"seed": seed, "policy": "OPT"}
             for m in spec.metrics:
                 metric_row[m] = payload.get(m)
@@ -156,17 +182,20 @@ def run_scenario(
         rows.append(row)
 
     aggregates = compute_aggregates(
-        labels, benefits, opt_benefits if spec.include_opt else None
+        labels, benefits, opt_benefits if spec.include_opt else None,
+        opt_bounds if spec.include_opt else None,
     )
 
     return ScenarioRun(spec=spec, rows=rows, aggregates=aggregates,
-                       metrics=metrics)
+                       metrics=metrics, opt_mode=opt_mode,
+                       opt_window=opt_window)
 
 
 def compute_aggregates(
     labels: List[str],
     benefits: Dict[str, List[float]],
     opt_benefits: Optional[List[float]],
+    opt_bounds: Optional[List[Tuple[float, float]]] = None,
 ) -> List[Dict[str, object]]:
     """Per-policy aggregate rows over per-seed benefit lists.
 
@@ -177,7 +206,27 @@ def compute_aggregates(
     ``docs/statistics.md``).  Shared by :func:`run_scenario` and the
     replicated runs in :mod:`repro.stats.replication`, so single-pass
     and replicated artifacts agree on aggregate semantics.
+
+    ``opt_bounds`` carries the per-seed certified ``(lower, upper)`` OPT
+    brackets.  When any seed's bracket is non-degenerate (inexact OPT
+    solver), ``mean_ratio`` is reported as ``None`` and the certified
+    bracket ``[mean_ratio_lo, mean_ratio_hi]`` on the true mean ratio is
+    emitted instead — an inexact denominator never masquerades as an
+    exact one.
     """
+
+    def _mean_ratio(opts: List[float], vals: List[float]):
+        # Per-seed ratios (both-zero seeds are perfect, 1.0); seeds
+        # whose ratio is unbounded (ONL = 0 < OPT) are excluded
+        # from the mean — matching the summary rows of
+        # repro.stats — and the mean is None (RFC-8259-valid
+        # JSON, no Infinity) only when no finite ratio exists.
+        ratios = [r for r in per_seed_ratios(opts, vals) if r is not None]
+        return round(sum(ratios) / len(ratios), 6) if ratios else None
+
+    bracketed = opt_bounds is not None and any(
+        lo != hi for lo, hi in opt_bounds
+    )
     aggregates: List[Dict[str, object]] = []
     for label in labels:
         vals = benefits[label]
@@ -188,25 +237,29 @@ def compute_aggregates(
             "max_benefit": round(max(vals), 6),
         }
         if opt_benefits is not None:
-            # Per-seed ratios (both-zero seeds are perfect, 1.0); seeds
-            # whose ratio is unbounded (ONL = 0 < OPT) are excluded
-            # from the mean — matching the summary rows of
-            # repro.stats — and mean_ratio is None (RFC-8259-valid
-            # JSON, no Infinity) only when no finite ratio exists.
-            ratios = [r for r in per_seed_ratios(opt_benefits, vals)
-                      if r is not None]
-            agg["mean_ratio"] = (
-                round(sum(ratios) / len(ratios), 6) if ratios else None
-            )
+            if bracketed:
+                agg["mean_ratio"] = None
+                agg["mean_ratio_lo"] = _mean_ratio(
+                    [lo for lo, _ in opt_bounds], vals
+                )
+                agg["mean_ratio_hi"] = _mean_ratio(
+                    [hi for _, hi in opt_bounds], vals
+                )
+            else:
+                agg["mean_ratio"] = _mean_ratio(opt_benefits, vals)
         aggregates.append(agg)
     if opt_benefits is not None:
-        aggregates.append({
+        agg = {
             "policy": "OPT",
             "mean_benefit": round(sum(opt_benefits) / len(opt_benefits), 6),
             "min_benefit": round(min(opt_benefits), 6),
             "max_benefit": round(max(opt_benefits), 6),
-            "mean_ratio": 1.0,
-        })
+            "mean_ratio": None if bracketed else 1.0,
+        }
+        if bracketed:
+            agg["mean_ratio_lo"] = None
+            agg["mean_ratio_hi"] = None
+        aggregates.append(agg)
     return aggregates
 
 

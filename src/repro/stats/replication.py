@@ -133,6 +133,8 @@ class ReplicatedRun:
             "repro_version": __version__,
             "scenario": self.spec.to_dict(),
             "plan": self.plan.as_dict(),
+            "opt": {"mode": self.run.opt_mode,
+                    "window": self.run.opt_window},
             "seeds_used": list(self.seeds_used),
             "stopped_early": self.stopped_early,
             "summary": self.summary,
@@ -158,6 +160,8 @@ def _target_values(
     if metric == "benefit":
         return [float(r[label]) for r in run.rows]
     if metric == "ratio":
+        # With an inexact OPT solver, r["OPT"] is the certified bracket
+        # upper end, so the stopping target is the conservative ratio.
         out: List[Optional[float]] = []
         for r in run.rows:
             ratio = ratio_of(float(r["OPT"]), float(r[label]))
@@ -177,6 +181,8 @@ def replicate_scenario(
     cache_dir: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
     backend: str = DEFAULT_BACKEND,
+    opt_mode: str = "exact",
+    opt_window: Optional[int] = None,
 ) -> ReplicatedRun:
     """Run ``spec`` across the plan's replicate seeds; pure function of
     (spec, plan).
@@ -216,7 +222,8 @@ def replicate_scenario(
 
     for batch_no, batch in enumerate(batches):
         sub = spec.with_overrides(seeds=batch)
-        part = run_scenario(sub, executor=ex)
+        part = run_scenario(sub, executor=ex, opt_mode=opt_mode,
+                            opt_window=opt_window)
         rows.extend(part.rows)
         metrics.extend(part.metrics)
         seeds_used.extend(batch)
@@ -244,11 +251,17 @@ def replicate_scenario(
     benefits = {label: [float(r[label]) for r in rows] for label in labels}
     opt_benefits = ([float(r["OPT"]) for r in rows]
                     if spec.include_opt else None)
+    opt_bounds = ([(float(r.get("OPT_lo", r["OPT"])),
+                    float(r.get("OPT_hi", r["OPT"]))) for r in rows]
+                  if spec.include_opt else None)
     combined = ScenarioRun(
         spec=spec_used,
         rows=rows,
-        aggregates=compute_aggregates(labels, benefits, opt_benefits),
+        aggregates=compute_aggregates(labels, benefits, opt_benefits,
+                                      opt_bounds),
         metrics=metrics,
+        opt_mode=opt_mode,
+        opt_window=opt_window,
     )
     series = collect_series(rows, metrics, labels, spec.metrics,
                             spec.include_opt)

@@ -260,3 +260,29 @@ def float_sample(rng: random.Random, allow_big_offset: bool = True) -> List[floa
     offset = 10.0 ** rng.randint(4, 6) if (
         allow_big_offset and rng.random() < 0.3) else 0.0
     return [offset + rng.gauss(0.0, 1.0) * scale for _ in range(n)]
+
+
+def opt_instance_strategy(
+    rng: random.Random,
+) -> Tuple["Trace", "SwitchConfig", str]:
+    """A tiny offline-OPT instance: ``(trace, config, model)``.
+
+    Small enough (<= 3x3 ports, <= 8 arrival slots, buffers <= 2) that
+    the exact time-expanded MILP solves in milliseconds, so certified
+    bracket properties can be checked against the exact optimum.
+    """
+    from repro.switch.config import SwitchConfig
+
+    n_in = rng.randint(1, 3)
+    n_out = rng.randint(1, 3)
+    config = SwitchConfig(
+        n_in=n_in, n_out=n_out, speedup=rng.randint(1, 2),
+        b_in=rng.randint(1, 2), b_out=rng.randint(1, 2), b_cross=1,
+    )
+    model = rng.choice(("cioq", "crossbar"))
+    traffic = BernoulliTraffic(
+        n_in, n_out, load=rng.uniform(0.3, 2.5),
+        value_model=value_model_strategy(rng),
+    )
+    trace = traffic.generate(rng.randint(2, 8), seed=rng.randrange(2 ** 31))
+    return trace, config, model

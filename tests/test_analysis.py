@@ -172,3 +172,116 @@ class TestEfficiency:
         assert [r["n"] for r in rows] == [4, 8]
         # Cost gap grows with switch size.
         assert rows[1]["maxmatch_ops"] > rows[0]["maxmatch_ops"]
+
+
+def _bracketed(onl, lo, hi, bound=3.0, policy="gm"):
+    return RatioMeasurement(
+        policy=policy, trace="t", model="cioq", onl_benefit=onl,
+        opt_benefit=hi, n_packets=4, bound=bound,
+        opt_mode="bounds", opt_lower=lo, opt_upper=hi,
+    )
+
+
+def _exact(onl, opt, bound=3.0, policy="gm"):
+    return RatioMeasurement(
+        policy=policy, trace="t", model="cioq", onl_benefit=onl,
+        opt_benefit=opt, n_packets=4, bound=bound,
+    )
+
+
+class TestIntervalRatios:
+    """Interval-aware ratio semantics: bracketed (inexact-OPT)
+    measurements never silently mix with exact ones, and bound checks
+    only report what the bracket certifies (regression tests for
+    docs/offline_opt.md's never-mix guarantee)."""
+
+    def test_bracketed_measurement_endpoints(self):
+        m = _bracketed(onl=10.0, lo=18.0, hi=24.0)
+        assert not m.is_exact
+        assert m.ratio == pytest.approx(2.4)       # conservative end
+        assert m.ratio_lo == pytest.approx(1.8)
+        assert m.ratio_hi == pytest.approx(2.4)
+        assert m.within_bound and m.certified_within_bound
+
+    def test_bound_check_needs_certified_violation(self):
+        # Bracket straddles the bound: no *certified* violation, but
+        # not certified-within either.
+        straddle = _bracketed(onl=10.0, lo=25.0, hi=35.0)
+        assert straddle.within_bound
+        assert not straddle.certified_within_bound
+        # Even the certified lower end exceeds the bound: violation.
+        violation = _bracketed(onl=10.0, lo=31.0, hi=35.0)
+        assert not violation.within_bound
+        assert not violation.certified_within_bound
+
+    def test_degenerate_bracket_is_exact(self):
+        m = _bracketed(onl=10.0, lo=20.0, hi=20.0)
+        assert m.is_exact
+        assert m.ratio == m.ratio_lo == m.ratio_hi
+
+    def test_as_row_bracket_columns_only_when_inexact(self):
+        exact_row = _exact(onl=10.0, opt=20.0).as_row()
+        assert "ratio_lo" not in exact_row and "opt_mode" not in exact_row
+        row = _bracketed(onl=10.0, lo=18.0, hi=24.0).as_row()
+        assert row["opt_mode"] == "bounds"
+        assert row["opt_lo"] == 18.0 and row["opt_hi"] == 24.0
+        assert row["ratio_lo"] == 1.8 and row["ratio_hi"] == 2.4
+
+    def test_summarize_never_mixes_exact_and_bracketed(self):
+        mixed = [
+            _exact(onl=10.0, opt=20.0),           # ratio 2.0
+            _exact(onl=10.0, opt=30.0),           # ratio 3.0
+            _bracketed(onl=10.0, lo=15.0, hi=40.0),  # [1.5, 4.0]
+        ]
+        s = summarize(mixed)
+        assert s["n"] == 3
+        assert s["n_exact"] == 2 and s["n_bracketed"] == 1
+        # Exact mean is exact-only; the bracket covers all points.
+        assert s["mean_ratio"] == pytest.approx(2.5)
+        assert s["mean_ratio_lo"] == pytest.approx((2.0 + 3.0 + 1.5) / 3)
+        assert s["mean_ratio_hi"] == pytest.approx((2.0 + 3.0 + 4.0) / 3)
+        assert s["max_ratio"] == pytest.approx(4.0)  # conservative end
+        assert s["all_within_bound"]
+        assert not s["all_certified_within_bound"]  # 4.0 > 3.0
+
+    def test_summary_table_mixing_exact_and_bracketed(self):
+        from repro.analysis.ratio import RatioSummary
+
+        mixed = [
+            _exact(onl=10.0, opt=20.0),
+            _exact(onl=10.0, opt=30.0),
+            _bracketed(onl=10.0, lo=15.0, hi=40.0),
+        ]
+        summary = RatioSummary.from_measurements(mixed)
+        assert summary.n == 2            # exact finite points only
+        assert summary.n_bracketed == 1
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.worst == pytest.approx(4.0)
+        row = summary.as_row()
+        assert row["n_bracketed"] == 1
+        assert row["mean_lo"] == pytest.approx(2.1667, abs=1e-4)
+        assert row["mean_hi"] == pytest.approx(3.0)
+        # Pure-exact tables keep their original shape.
+        pure = RatioSummary.from_measurements(mixed[:2]).as_row()
+        assert "n_bracketed" not in pure and "mean_lo" not in pure
+
+    def test_unbounded_bracketed_measurement(self):
+        m = _bracketed(onl=0.0, lo=5.0, hi=9.0)
+        assert m.finite_ratio is None
+        assert not m.within_bound    # cannot certify consistency
+        s = summarize([m, _exact(onl=10.0, opt=20.0)])
+        assert s["n_unbounded"] == 1
+        assert s["mean_ratio"] == pytest.approx(2.0)
+
+    def test_measure_with_bounds_mode_brackets_exact(
+        self, small_config, unit_trace
+    ):
+        exact = measure_cioq_ratio(
+            GMPolicy(), unit_trace, small_config, bound=3.0)
+        m = measure_cioq_ratio(
+            GMPolicy(), unit_trace, small_config, bound=3.0,
+            opt_mode="bounds")
+        assert m.opt_mode == "bounds"
+        assert m.opt_lower - 1e-9 <= exact.opt_benefit <= m.opt_upper + 1e-9
+        assert m.ratio_lo <= exact.ratio <= m.ratio_hi + 1e-9
+        assert m.opt_benefit == m.opt_upper

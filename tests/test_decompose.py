@@ -5,7 +5,9 @@ import pytest
 from repro.offline.decompose import decompose_cioq_opt
 from repro.offline.opt import cioq_opt
 from repro.switch.config import SwitchConfig
+from repro.switch.packet import Packet
 from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.trace import Trace
 
 
 @pytest.mark.parametrize("seed", range(5))
@@ -62,3 +64,55 @@ def test_benefit_carried_through(small_config):
     res = cioq_opt(trace, small_config, extract_schedule=True)
     sched = decompose_cioq_opt(trace, res)
     assert sched.benefit == res.benefit
+
+
+class TestEdgeCases:
+    """Degenerate instances: empty trace, a single arrival slot, and a
+    window where capacity forces every extra packet to drop."""
+
+    def test_empty_trace(self, tiny_config):
+        trace = Trace([], 2, 2)
+        res = cioq_opt(trace, tiny_config, extract_schedule=True)
+        sched = decompose_cioq_opt(trace, res)
+        assert sched.itineraries == {}
+        assert sched.benefit == 0.0
+        sched.validate(trace)
+
+    def test_single_slot_single_packet(self, tiny_config):
+        trace = Trace([Packet(0, 5.0, 0, 0, 1)], 2, 2)
+        res = cioq_opt(trace, tiny_config, extract_schedule=True)
+        sched = decompose_cioq_opt(trace, res)
+        assert set(sched.itineraries) == {0}
+        it = sched.itineraries[0]
+        assert it.depart[0] >= 0
+        assert it.transmit_slot >= it.depart[0]
+        sched.validate(trace)
+
+    def test_all_drops_window(self, tiny_config):
+        """Five same-slot arrivals into one capacity-1 VOQ: exactly one
+        survives, and its itinerary is still consistent."""
+        packets = [Packet(k, 1.0, 0, 0, 0) for k in range(5)]
+        trace = Trace(packets, 2, 2)
+        res = cioq_opt(trace, tiny_config, extract_schedule=True)
+        sched = decompose_cioq_opt(trace, res)
+        assert len(sched.itineraries) == 1
+        assert res.n_delivered == 1
+        sched.validate(trace)
+
+    def test_single_slot_burst_keeps_matching_property(self, tiny_config):
+        """A one-slot burst across all four VOQs decomposes into
+        per-cycle matchings even when drops occur."""
+        packets = [
+            Packet(4 * i + 2 * j + k, 1.0, 0, i, j)
+            for i in range(2) for j in range(2) for k in range(2)
+        ]
+        trace = Trace(packets, 2, 2)
+        res = cioq_opt(trace, tiny_config, extract_schedule=True)
+        sched = decompose_cioq_opt(trace, res)
+        sched.validate(trace)
+        slots = {it.transmit_slot for it in sched.itineraries.values()}
+        for t in sorted(slots):
+            for s in range(tiny_config.speedup):
+                deps = sched.departures_in_cycle(t, s)
+                assert len({d.src for d in deps}) == len(deps)
+                assert len({d.dst for d in deps}) == len(deps)

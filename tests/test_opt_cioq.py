@@ -159,3 +159,41 @@ class TestStructuralProperties:
         for t, s, i, j in res.departures:
             assert 0 <= i < 3 and 0 <= j < 3
             assert 0 <= s < small_config.speedup
+
+
+class TestBruteForceEdgeCases:
+    """Degenerate inputs to the exhaustive oracle: empty trace, a single
+    arrival slot, an all-drops burst, and the validation guards."""
+
+    def test_empty_trace(self, tiny_config):
+        assert bruteforce_cioq_opt_unit(Trace([], 2, 2), tiny_config) == 0
+
+    def test_single_slot_single_packet(self, tiny_config):
+        t = trace_of([(1.0, 0, 0, 1)])
+        assert bruteforce_cioq_opt_unit(t, tiny_config) == 1
+
+    def test_all_drops_window(self, tiny_config):
+        """A burst of 6 same-slot arrivals into one capacity-1 VOQ:
+        all but one drop, and the MILP agrees with the oracle."""
+        t = trace_of([(1.0, 0, 0, 0)] * 6)
+        bf = bruteforce_cioq_opt_unit(t, tiny_config)
+        assert bf == 1
+        assert cioq_opt(t, tiny_config).n_delivered == bf
+
+    def test_single_slot_full_fanout(self, tiny_config):
+        """One packet per VOQ in one slot: all four deliverable."""
+        t = trace_of([(1.0, 0, i, j) for i in range(2) for j in range(2)])
+        bf = bruteforce_cioq_opt_unit(t, tiny_config)
+        assert bf == 4
+        assert cioq_opt(t, tiny_config).n_delivered == bf
+
+    def test_rejects_weighted_trace(self, tiny_config):
+        t = trace_of([(2.5, 0, 0, 1)])
+        with pytest.raises(ValueError, match="unit-value"):
+            bruteforce_cioq_opt_unit(t, tiny_config)
+
+    def test_rejects_large_switch(self):
+        config = SwitchConfig.square(5, speedup=1, b_in=1, b_out=1)
+        t = Trace([Packet(0, 1.0, 0, 0, 0)], 5, 5)
+        with pytest.raises(ValueError, match="4x4"):
+            bruteforce_cioq_opt_unit(t, config)

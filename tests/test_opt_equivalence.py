@@ -1,0 +1,210 @@
+"""Differential OPT test matrix: windowed / bounds vs the exact MILP.
+
+Pins the certified OPT solvers (:mod:`repro.offline.windowed`,
+:mod:`repro.offline.bounds`) to the exact time-expanded MILP across
+every builtin scenario (downscaled so exact OPT stays cheap):
+
+* windowed mode with ``window >= horizon`` delegates to the exact model
+  and must reproduce its benefit **bit-for-bit** (no tolerance);
+* every certified bracket — windowed with a proper window, and the
+  near-free bounds mode — must sandwich the exact optimum;
+* the drain lemma behind the per-window horizons
+  (:func:`~repro.offline.windowed.window_drain_slots`) is validated
+  differentially: truncating the global horizon to
+  ``n_slots + window_drain_slots(config)`` must not change exact OPT;
+* :func:`~repro.offline.opt.solve_opt` dispatch and
+  :func:`~repro.offline.opt.select_opt_mode` auto-selection are pinned
+  (mode validation, exact-for-small, deterministic selection).
+
+Scenarios are downscaled to 6 arrival slots with small buffers so each
+MILP solves in milliseconds; the *structure* (switch shape, traffic
+model, value model) is the registered one.
+"""
+
+import pytest
+
+from repro.offline import (
+    OPT_MODES,
+    bounds_opt,
+    cioq_opt,
+    crossbar_opt,
+    select_opt_mode,
+    solve_opt,
+    windowed_opt,
+)
+from repro.offline.opt import AUTO_EXACT_BUDGET, _exact_size_proxy
+from repro.offline.timegraph import default_horizon
+from repro.offline.windowed import window_drain_slots
+from repro.scenarios import all_scenarios
+from repro.switch.config import SwitchConfig
+from repro.switch.packet import Packet
+from repro.traffic.trace import Trace
+
+#: Downscaled arrival horizon: small enough that exact OPT on every
+#: builtin scenario solves in milliseconds, large enough that windows
+#: of size 1-3 still stitch several segments.
+SLOTS = 6
+
+#: Seeds per scenario in the matrix (first two registered seeds).
+SEEDS_PER_SCENARIO = 2
+
+
+def _downscale(spec):
+    """The registered scenario with tiny buffers and a short horizon.
+
+    Ports and speedup are kept (traffic parameters like ``hot_port``
+    validate against them); buffers shrink so the drain bound — and with
+    it the MILP horizon — stays small.
+    """
+    switch = dict(spec.switch)
+    switch.update(b_in=2, b_out=2, b_cross=1)
+    return spec.with_overrides(slots=SLOTS, switch=switch)
+
+
+def _cases():
+    for spec in all_scenarios():
+        for seed in spec.seeds[:SEEDS_PER_SCENARIO]:
+            yield spec, seed
+
+
+CASES = list(_cases())
+CASE_IDS = [f"{spec.name}-s{seed}" for spec, seed in CASES]
+
+
+def _instance(spec, seed):
+    sub = _downscale(spec)
+    config = sub.build_config()
+    trace = sub.build_traffic().generate(sub.slots, seed=seed)
+    exact_solver = cioq_opt if spec.model == "cioq" else crossbar_opt
+    return trace, config, exact_solver
+
+
+@pytest.mark.parametrize(("spec", "seed"), CASES, ids=CASE_IDS)
+class TestDifferentialMatrix:
+    def test_windowed_full_window_is_exact_bitwise(self, spec, seed):
+        """window >= horizon delegates to the exact model verbatim."""
+        trace, config, exact_solver = _instance(spec, seed)
+        exact = exact_solver(trace, config)
+        window = max(trace.n_slots, 1)
+        w = windowed_opt(trace, config, window=window, model=spec.model)
+        assert w.mode == "windowed"
+        assert w.n_windows == 1
+        # Bit-for-bit: ==, not approx.
+        assert w.benefit == exact.benefit
+        assert w.opt_lower == exact.benefit
+        assert w.opt_upper == exact.benefit
+        assert w.is_exact
+
+    def test_windowed_bracket_sandwiches_exact(self, spec, seed):
+        trace, config, exact_solver = _instance(spec, seed)
+        exact = exact_solver(trace, config)
+        for window in (1, 2, max(1, trace.n_slots // 2)):
+            w = windowed_opt(trace, config, window=window, model=spec.model)
+            assert w.opt_lower - 1e-9 <= exact.benefit <= w.opt_upper + 1e-9, (
+                f"window={window}: bracket [{w.opt_lower}, {w.opt_upper}] "
+                f"misses exact {exact.benefit}"
+            )
+            assert w.opt_lower <= w.opt_upper
+            assert w.benefit == w.opt_upper
+
+    def test_bounds_bracket_sandwiches_exact(self, spec, seed):
+        trace, config, exact_solver = _instance(spec, seed)
+        exact = exact_solver(trace, config)
+        b = bounds_opt(trace, config, model=spec.model)
+        assert b.mode == "bounds"
+        assert b.opt_lower - 1e-9 <= exact.benefit <= b.opt_upper + 1e-9
+        assert b.benefit == b.opt_upper
+
+    def test_solve_opt_exact_mode_matches_direct_call(self, spec, seed):
+        trace, config, exact_solver = _instance(spec, seed)
+        exact = exact_solver(trace, config)
+        via = solve_opt(trace, config, model=spec.model, mode="exact")
+        assert via.benefit == exact.benefit
+        assert via.mode == "exact"
+
+
+class TestDrainLemma:
+    """The per-window horizon pad is sufficient: cutting the global
+    horizon down to ``n_slots + window_drain_slots(config)`` never
+    changes exact OPT (the certified drain lemma, tested
+    differentially against the much larger default drain bound)."""
+
+    CONFIGS = [
+        SwitchConfig.square(2, speedup=1, b_in=1, b_out=1, b_cross=1),
+        SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1),
+        SwitchConfig.square(3, speedup=2, b_in=2, b_out=1, b_cross=2),
+    ]
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "config", CONFIGS, ids=lambda c: f"{c.n_in}x{c.n_out}s{c.speedup}"
+    )
+    def test_drain_horizon_preserves_opt(self, config, seed):
+        from repro.traffic.bernoulli import BernoulliTraffic
+        from repro.traffic.values import uniform_values
+
+        trace = BernoulliTraffic(
+            config.n_in, config.n_out, load=1.5,
+            value_model=uniform_values(1, 9),
+        ).generate(5, seed=seed)
+        short = trace.n_slots + window_drain_slots(config)
+        assert short <= default_horizon(trace, config)
+        full = cioq_opt(trace, config)
+        cut = cioq_opt(trace, config, horizon=short)
+        assert cut.benefit == full.benefit
+
+    def test_drain_slots_below_default_bound(self):
+        for config in self.CONFIGS:
+            trace = Trace([], config.n_in, config.n_out)
+            assert (trace.n_slots + window_drain_slots(config)
+                    <= default_horizon(trace, config))
+
+
+class TestDispatchAndSelection:
+    def test_rejects_unknown_mode(self, tiny_config):
+        trace = Trace([], 2, 2)
+        with pytest.raises(ValueError, match="unknown opt mode"):
+            solve_opt(trace, tiny_config, mode="magic")
+
+    def test_rejects_unknown_model(self, tiny_config):
+        trace = Trace([], 2, 2)
+        with pytest.raises(ValueError, match="unknown offline model"):
+            solve_opt(trace, tiny_config, model="banyan")
+
+    def test_windowed_requires_window(self, tiny_config):
+        trace = Trace([], 2, 2)
+        with pytest.raises(ValueError, match="window"):
+            solve_opt(trace, tiny_config, mode="windowed")
+
+    def test_auto_picks_exact_for_small(self, tiny_config):
+        trace = Trace([], 2, 2)
+        mode, window = select_opt_mode(trace, tiny_config)
+        assert mode == "exact"
+        assert window is None
+
+    def test_auto_is_deterministic_and_valid(self):
+        # One packet arriving at slot-1 sets the trace's slot horizon
+        # without materializing a big packet list.
+        for n, slots in [(2, 4), (4, 64), (8, 512), (16, 4096)]:
+            config = SwitchConfig.square(n, speedup=2, b_in=4, b_out=4)
+            trace = Trace([Packet(0, 1.0, slots - 1, 0, 0)], n, n)
+            first = select_opt_mode(trace, config)
+            second = select_opt_mode(trace, config)
+            assert first == second
+            assert first[0] in OPT_MODES and first[0] != "auto"
+            if first[0] == "windowed":
+                assert first[1] is not None and first[1] >= 1
+
+    def test_proxy_threshold_respected(self):
+        config = SwitchConfig.square(16, speedup=2, b_in=4, b_out=4)
+        # All 256 pairs active with a late arrival => long horizon and
+        # a full pair set => huge proxy.
+        packets = [
+            Packet(16 * i + j, 1.0, 9999, i, j)
+            for i in range(16) for j in range(16)
+        ]
+        trace = Trace(packets, 16, 16)
+        horizon = default_horizon(trace, config)
+        assert _exact_size_proxy(trace, config, horizon) > AUTO_EXACT_BUDGET
+        mode, _ = select_opt_mode(trace, config)
+        assert mode in ("windowed", "bounds")

@@ -254,6 +254,102 @@ class TestDocsConsistency:
             f"fast backend's best large-N speedup regressed to {best}x"
         )
 
+    def test_opt_modes_match_docs(self):
+        """Every registered OPT solver mode has a `### <mode>` section in
+        docs/offline_opt.md and vice versa — the solver-mode reference
+        and the dispatch table cannot drift apart (mirrors the backend
+        and scenario catalog tests)."""
+        import re
+
+        from repro.offline.opt import OPT_MODES
+
+        text = (ROOT / "docs" / "offline_opt.md").read_text()
+        documented = set(re.findall(r"^### ([a-z0-9-]+)\s*$", text,
+                                    flags=re.MULTILINE))
+        registered = set(OPT_MODES)
+        assert registered - documented == set(), (
+            f"OPT modes missing from docs/offline_opt.md: "
+            f"{sorted(registered - documented)}"
+        )
+        assert documented - registered == set(), (
+            f"docs/offline_opt.md documents unregistered OPT modes: "
+            f"{sorted(documented - registered)}"
+        )
+
+    def test_bench_opt_snapshot_committed_and_sane(self):
+        """BENCH_opt.json (written by benchmarks/bench_opt.py) must be
+        committed, canonical in form, cover the advertised grid (exact
+        comparison cells, <= 5% scenario width cells, N in {8, 16, 64}
+        scale cells with horizons up to 10^6), and demonstrate the
+        headline >= 10x speedup of the scalable modes over exact."""
+        import json
+
+        path = ROOT / "BENCH_opt.json"
+        assert path.exists(), (
+            "BENCH_opt.json is missing; regenerate with "
+            "`python benchmarks/bench_opt.py`"
+        )
+        raw = path.read_text()
+        snapshot = json.loads(raw)
+        canonical = json.dumps(snapshot, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n"
+        assert raw == canonical, (
+            "BENCH_opt.json is not in canonical form "
+            "(indent=2, sort_keys, trailing newline)"
+        )
+        assert snapshot["schema"] == 1
+        rows = snapshot["rows"]
+        keys = {
+            "cell", "kind", "model", "n_ports", "arrival_slots",
+            "workload", "window", "exact_status", "exact_seconds",
+            "windowed_seconds", "bounds_seconds",
+            "windowed_width_vs_exact", "bounds_width_vs_exact",
+            "windowed_rel_width", "bounds_rel_width",
+            "speedup_windowed", "speedup_bounds",
+            "speedup_floor_vs_exact",
+        }
+        for row in rows:
+            assert set(row) == keys, f"schema drift in cell {row.get('cell')}"
+        by_kind = {}
+        for row in rows:
+            by_kind.setdefault(row["kind"], []).append(row)
+
+        # Comparison cells: exact measured, and the scalable modes beat
+        # it by >= 10x where they ran.
+        comparison = by_kind["comparison"]
+        assert all(r["exact_status"] == "measured" for r in comparison)
+        best_measured = max(
+            r["speedup_bounds"] for r in comparison if r["speedup_bounds"]
+        )
+        assert best_measured >= 10.0, (
+            f"measured bounds-vs-exact speedup regressed to {best_measured}x"
+        )
+
+        # Scenario cells: certified widths within 5% of exact OPT on the
+        # builtin non-adversarial scenarios.
+        scenarios = by_kind["scenario"]
+        assert len(scenarios) >= 3
+        for row in scenarios:
+            assert row["exact_status"] == "measured"
+            assert row["windowed_width_vs_exact"] <= 0.05, (
+                f"windowed bracket too wide on {row['cell']}: "
+                f"{row['windowed_width_vs_exact']}"
+            )
+
+        # Scale cells: exact infeasible, N in {8, 16, 64}, horizons up
+        # to 10^6 slots, and a certified >= 10x speedup floor.
+        scale = by_kind["scale"]
+        assert all(r["exact_status"] == "infeasible" for r in scale)
+        assert all(r["exact_seconds"] is None for r in scale)
+        ports = {r["n_ports"] for r in scale}
+        assert {8, 16, 64} <= ports, f"missing scale port counts: {ports}"
+        assert max(r["arrival_slots"] for r in scale) >= 10**6
+        floors = [r["speedup_floor_vs_exact"] for r in scale
+                  if r["speedup_floor_vs_exact"] is not None]
+        assert floors and max(floors) >= 10.0, (
+            f"certified speedup floor regressed: {floors}"
+        )
+
     def test_paper_mapping_module_references_resolve(self):
         """Every `repro.x.y` dotted path in docs/paper_mapping.md must
         import."""

@@ -143,3 +143,95 @@ class TestWelfordProperties:
             if whole.n >= 2:
                 assert merged.variance == pytest.approx(
                     whole.variance, rel=1e-9, abs=1e-9), context
+
+@pytest.mark.parametrize("seed", SEEDS, ids=_ids)
+class TestCertifiedOptBrackets:
+    """Certified-bracket invariants of the windowed / bounds OPT
+    solvers, checked against the exact MILP on tiny instances (see
+    ``docs/offline_opt.md``).  Exact solves dominate the runtime, so
+    the per-seed case count is lower than :data:`N_CASES`.
+    """
+
+    N_OPT_CASES = 8
+
+    @staticmethod
+    def _tol(x: float) -> float:
+        return 1e-7 * (1.0 + abs(x))
+
+    def test_brackets_sandwich_exact(self, seed):
+        from _strategies import opt_instance_strategy
+        from repro.offline import bounds_opt, solve_opt, windowed_opt
+
+        rng = random.Random(seed)
+        for case in range(self.N_OPT_CASES):
+            trace, config, model = opt_instance_strategy(rng)
+            exact = solve_opt(trace, config, model=model, mode="exact")
+            total = sum(p.value for p in trace.packets)
+            tol = self._tol(exact.benefit)
+            context = f"seed={seed:#x} case={case} trace={trace.name}"
+            candidates = [bounds_opt(trace, config, model=model)]
+            if trace.n_slots >= 1:
+                window = rng.randint(1, trace.n_slots)
+                candidates.append(
+                    windowed_opt(trace, config, window=window, model=model))
+            for res in candidates:
+                assert res.opt_lower <= res.opt_upper + tol, context
+                assert res.opt_lower - tol <= exact.benefit, context
+                assert exact.benefit <= res.opt_upper + tol, context
+                assert 0.0 <= res.opt_lower + tol, context
+                assert res.opt_upper <= total + self._tol(total), context
+
+    def test_windowed_tightens_monotonically(self, seed):
+        """Doubling the window along a divisible ladder never loosens
+        the bracket: each 2W window merges exactly two W windows, and
+        merged upper (lower) bounds only tighten."""
+        from _strategies import opt_instance_strategy
+        from repro.offline import windowed_opt
+
+        rng = random.Random(seed)
+        for case in range(self.N_OPT_CASES):
+            trace, config, model = opt_instance_strategy(rng)
+            if trace.n_slots < 2:
+                continue
+            w = rng.randint(1, trace.n_slots // 2)
+            narrow = windowed_opt(trace, config, window=w, model=model)
+            wide = windowed_opt(trace, config, window=2 * w, model=model)
+            tol = self._tol(narrow.opt_upper)
+            context = f"seed={seed:#x} case={case} w={w} trace={trace.name}"
+            assert wide.opt_lower >= narrow.opt_lower - tol, context
+            assert wide.opt_upper <= narrow.opt_upper + tol, context
+
+    def test_concatenation_stitching(self, seed):
+        """Splitting a trace at a window boundary stitches exactly:
+        the two-window bracket sits between the forced-drain + exact
+        sum (below) and the exact + exact sum (above), and still
+        sandwiches the exact optimum of the whole trace."""
+        from _strategies import opt_instance_strategy
+        from repro.offline import solve_opt, windowed_opt
+        from repro.offline.crossbar_timegraph import CrossbarOptModel
+        from repro.offline.timegraph import CIOQOptModel
+        from repro.offline.windowed import subtrace
+
+        classes = {"cioq": CIOQOptModel, "crossbar": CrossbarOptModel}
+        rng = random.Random(seed)
+        for case in range(self.N_OPT_CASES):
+            trace, config, model = opt_instance_strategy(rng)
+            if trace.n_slots < 2:
+                continue
+            # One cut at w >= ceil(n/2) => exactly two windows.
+            w = rng.randint((trace.n_slots + 1) // 2, trace.n_slots - 1)
+            head = subtrace(trace, 0, w)
+            tail = subtrace(trace, w, trace.n_slots)
+            stitched = windowed_opt(trace, config, window=w, model=model)
+            exact = solve_opt(trace, config, model=model, mode="exact")
+            e_head = solve_opt(head, config, model=model, mode="exact")
+            e_tail = solve_opt(tail, config, model=model, mode="exact")
+            forced_head = classes[model](head, config, horizon=w).solve()
+            tol = self._tol(exact.benefit)
+            context = f"seed={seed:#x} case={case} w={w} trace={trace.name}"
+            assert stitched.opt_upper <= (
+                e_head.benefit + e_tail.benefit + tol), context
+            assert stitched.opt_lower >= (
+                forced_head.benefit + e_tail.benefit - tol), context
+            assert (stitched.opt_lower - tol <= exact.benefit
+                    <= stitched.opt_upper + tol), context

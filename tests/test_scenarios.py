@@ -314,6 +314,33 @@ class TestRunner:
         second = run_scenario(spec, cache_dir=str(tmp_path / "cache"))
         assert first.artifact() == second.artifact()
 
+    def test_opt_bounds_mode_rows_bracket_exact(self, tmp_path):
+        """With an inexact OPT mode the rows grow certified OPT_lo/OPT_hi
+        columns that sandwich the exact optimum, the aggregates switch to
+        the bracketed mean-ratio form, and the artifact records the
+        solver mode in its v3 ``opt`` block."""
+        bounded = run_scenario(small_spec(), opt_mode="bounds")
+        exact = run_scenario(small_spec())
+        for brow, erow in zip(bounded.rows, exact.rows):
+            assert set(brow) == {"seed", "arrived", "gm", "pg(beta=2.0)",
+                                 "OPT", "OPT_lo", "OPT_hi"}
+            assert brow["OPT_lo"] <= erow["OPT"] <= brow["OPT_hi"]
+            # bounds mode reports the conservative upper end as "OPT"
+            assert brow["OPT"] == brow["OPT_hi"]
+        assert "OPT_lo" not in exact.rows[0]
+        # any non-degenerate seed bracket => never report an exact-looking
+        # mean ratio, only the certified bracket on it
+        assert any(r["OPT_lo"] < r["OPT_hi"] for r in bounded.rows)
+        for agg in bounded.aggregates:
+            assert agg["mean_ratio"] is None
+            assert "mean_ratio_lo" in agg and "mean_ratio_hi" in agg
+        json_path, _csv, _toml = write_artifacts(bounded, str(tmp_path))
+        data = json.loads(open(json_path).read())
+        assert data["artifact_version"] == ARTIFACT_VERSION
+        assert data["opt"] == {"mode": "bounds", "window": None}
+        assert all("OPT_lo" in row and "OPT_hi" in row
+                   for row in data["rows"])
+
 
 class TestScenarioCLI:
     def test_list(self, capsys):

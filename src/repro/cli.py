@@ -63,6 +63,7 @@ from .switch.cioq import CIOQSwitch
 from .switch.config import SwitchConfig
 from .switch.crossbar import CrossbarSwitch
 from .switch.diagram import render_cioq, render_crossbar
+from .traffic.appmix import ApplicationMixTraffic
 from .traffic.bernoulli import BernoulliTraffic
 from .traffic.bursty import BurstyTraffic
 from .traffic.hotspot import DiagonalTraffic, HotspotTraffic
@@ -96,7 +97,7 @@ VALUE_MODELS = {
     "two-value": lambda: two_value(10.0, 0.25),
     "pareto": lambda: pareto_values(1.5),
 }
-TRAFFIC_MODELS = ("bernoulli", "bursty", "hotspot", "diagonal")
+TRAFFIC_MODELS = ("bernoulli", "bursty", "hotspot", "diagonal", "appmix")
 
 
 def _build_config(args) -> SwitchConfig:
@@ -121,6 +122,9 @@ def _build_traffic(args, load=None):
     if args.traffic == "hotspot":
         return HotspotTraffic(args.n, args.n, load=load,
                               hot_fraction=0.6, value_model=values)
+    if args.traffic == "appmix":
+        return ApplicationMixTraffic(args.n, args.n, load_scale=load,
+                                     value_model=values)
     return DiagonalTraffic(args.n, args.n, load=load, value_model=values)
 
 
@@ -431,6 +435,143 @@ def cmd_scenarios_export(args) -> int:
     return 0
 
 
+def cmd_trace_record(args) -> int:
+    """Record a traffic model to a chunked stream file, O(chunk) memory."""
+    import json as _json
+    import os
+    import tempfile
+
+    from .traffic.trace import STREAM_FORMAT, STREAM_VERSION
+
+    model = _build_traffic(args)
+    source = model.arrival_source(seed=args.seed)
+    chunk_slots = args.chunk_slots
+    if chunk_slots < 1:
+        raise SystemExit("--chunk-slots must be >= 1")
+    n_packets = 0
+    # The header carries the total packet count, which is only known
+    # after the last slot; body chunks go to a sibling temp file first,
+    # then header + body are concatenated — still one chunk in memory.
+    out_dir = os.path.dirname(os.path.abspath(args.output)) or "."
+    fd, body_path = tempfile.mkstemp(dir=out_dir, suffix=".body")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as body:
+            base = 0
+            rows = []
+            for t in range(args.slots):
+                for src, dst, value in source(t, None):
+                    rows.append([n_packets, value, t, src, dst])
+                    n_packets += 1
+                if t + 1 - base == chunk_slots:
+                    if rows:
+                        body.write(_json.dumps(
+                            {"base": base, "packets": rows}))
+                        body.write("\n")
+                    base, rows = t + 1, []
+            if rows:
+                body.write(_json.dumps({"base": base, "packets": rows}))
+                body.write("\n")
+        with open(args.output, "w", encoding="utf-8") as out:
+            out.write(_json.dumps({
+                "format": STREAM_FORMAT,
+                "version": STREAM_VERSION,
+                "name": f"{model.name}/{model.value_model.name}"
+                        f"/seed{args.seed}",
+                "n_in": model.n_in,
+                "n_out": model.n_out,
+                "n_slots": args.slots,
+                "n_packets": n_packets,
+                "chunk_slots": chunk_slots,
+            }))
+            out.write("\n")
+            with open(body_path, "r", encoding="utf-8") as body:
+                while True:
+                    block = body.read(1 << 20)
+                    if not block:
+                        break
+                    out.write(block)
+    finally:
+        if os.path.exists(body_path):
+            os.unlink(body_path)
+    print(f"wrote {args.output}: {n_packets} packets over {args.slots} "
+          f"slots ({model.n_in}x{model.n_out})")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    from .traffic.trace import Trace, is_stream_file, read_stream_header
+
+    if is_stream_file(args.path):
+        header = dict(read_stream_header(args.path))
+        header["format"] = f"{header.pop('format')} v{header.pop('version')}"
+        rows = [{"field": k, "value": v} for k, v in header.items()]
+        print(format_table(rows, title=f"stream trace {args.path}"))
+        return 0
+    rows = [{"field": k, "value": v}
+            for k, v in Trace.load(args.path).describe().items()]
+    print(format_table(rows, title=f"trace {args.path}"))
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    """Replay a recorded trace through the engine and emit its artifact.
+
+    The default path streams the file through ``run_*_streaming`` at
+    O(chunk) peak memory; ``--materialized`` loads the whole trace and
+    runs the batch engine instead.  Both paths produce byte-identical
+    artifacts (the CI memory smoke diffs them), and ``--rss-limit-mb``
+    turns the memory bound into a hard failure via ``setrlimit``.
+    """
+    import json as _json
+
+    from .simulation.engine import run_cioq_streaming, run_crossbar_streaming
+    from .traffic.replay import TraceReplayTraffic
+    from .traffic.trace import Trace, is_stream_file, read_stream_header
+
+    if args.rss_limit_mb is not None:
+        import resource
+
+        limit = int(args.rss_limit_mb) * (1 << 20)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+    policy, _ = _make_policy(args.policy, args.model, args.beta)
+    if is_stream_file(args.path):
+        header = read_stream_header(args.path)
+        n_in, n_out = int(header["n_in"]), int(header["n_out"])
+        n_slots = int(header["n_slots"])
+    else:
+        trace = Trace.load(args.path)
+        n_in, n_out, n_slots = trace.n_in, trace.n_out, trace.n_slots
+    config = SwitchConfig(n_in=n_in, n_out=n_out, speedup=args.speedup,
+                          b_in=args.b_in, b_out=args.b_out,
+                          b_cross=args.b_cross)
+
+    if args.materialized:
+        trace = Trace.load(args.path)
+        runner = run_cioq if args.model == "cioq" else run_crossbar
+        result = runner(policy, config, trace, backend="reference")
+    else:
+        replay = TraceReplayTraffic(args.path)
+        runner = (run_cioq_streaming if args.model == "cioq"
+                  else run_crossbar_streaming)
+        result = runner(policy, config, replay.arrival_source(), n_slots)
+
+    artifact = _json.dumps(result.summary(), indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(artifact)
+        mode = "materialized" if args.materialized else "streaming"
+        print(f"wrote {args.output} ({mode})")
+    else:
+        print(artifact, end="")
+    if args.report_rss:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        print(f"peak RSS: {peak_kb / 1024:.1f} MiB", file=sys.stderr)
+    return 0
+
+
 def cmd_constants(args) -> int:
     from .theory.ratios import verify_paper_constants
 
@@ -617,6 +758,59 @@ def build_parser() -> argparse.ArgumentParser:
     st_sum.add_argument("--json", action="store_true",
                         help="emit summary rows as JSON instead of a table")
     st_sum.set_defaults(func=cmd_stats_summarize)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="recorded traces: record|info|replay (streaming, O(chunk) "
+             "memory; docs/traffic_models.md)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_rec = trace_sub.add_parser(
+        "record",
+        help="record a traffic model to a chunked stream file",
+    )
+    _add_common(t_rec)
+    t_rec.add_argument("output", help="stream file to write (JSONL)")
+    t_rec.add_argument("--chunk-slots", type=int, default=4096,
+                       dest="chunk_slots",
+                       help="arrival slots per stream chunk line")
+    t_rec.set_defaults(func=cmd_trace_record)
+
+    t_info = trace_sub.add_parser(
+        "info", help="print a recorded trace's header/summary"
+    )
+    t_info.add_argument("path", help="trace file (stream or legacy JSON)")
+    t_info.set_defaults(func=cmd_trace_info)
+
+    t_rep = trace_sub.add_parser(
+        "replay",
+        help="replay a recorded trace through the engine "
+             "(streaming by default)",
+    )
+    t_rep.add_argument("path", help="trace file (stream or legacy JSON)")
+    t_rep.add_argument("--model", choices=("cioq", "crossbar"),
+                       default="cioq")
+    t_rep.add_argument("--policy", default="gm")
+    t_rep.add_argument("--beta", type=float, default=None,
+                       help="preemption threshold (pg only)")
+    t_rep.add_argument("--speedup", type=int, default=1)
+    t_rep.add_argument("--b-in", type=int, default=4, dest="b_in")
+    t_rep.add_argument("--b-out", type=int, default=4, dest="b_out")
+    t_rep.add_argument("--b-cross", type=int, default=1, dest="b_cross")
+    t_rep.add_argument("--materialized", action="store_true",
+                       help="load the full trace and run the batch "
+                            "engine (the control path)")
+    t_rep.add_argument("--rss-limit-mb", type=int, default=None,
+                       dest="rss_limit_mb",
+                       help="hard address-space ceiling in MiB "
+                            "(setrlimit; exceeding it kills the run)")
+    t_rep.add_argument("--report-rss", action="store_true",
+                       dest="report_rss",
+                       help="print peak RSS to stderr after the run")
+    t_rep.add_argument("-o", "--output", default=None,
+                       help="write the result artifact to a file")
+    t_rep.set_defaults(func=cmd_trace_replay)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

@@ -84,7 +84,8 @@ def subtrace(trace: Trace, start: int, stop: int) -> Trace:
         if start <= p.arrival < stop
     ]
     return Trace(packets, trace.n_in, trace.n_out,
-                 name=f"{trace.name}[{start}:{stop})")
+                 name=f"{trace.name}[{start}:{stop})",
+                 n_slots=max(0, min(stop, trace.n_slots) - start))
 
 
 def window_boundaries(n_slots: int, window: int) -> List[Tuple[int, int]]:

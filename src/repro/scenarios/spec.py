@@ -12,7 +12,7 @@ The module also owns the *kind registries* that make specs declarative:
 
 * :data:`TRAFFIC_KINDS` — traffic-model constructors by kind name
   (``bernoulli``, ``bursty``, ``hotspot``, ``diagonal``, ``markov``,
-  ``pareto-burst``, ``replay``, ``adversarial``);
+  ``pareto-burst``, ``appmix``, ``replay``, ``adversarial``);
 * :data:`VALUE_KINDS` — value-model factories by kind name;
 * :data:`POLICY_CLASSES` — policy classes by (switch model, name),
   shared with the CLI's policy tables.
@@ -39,6 +39,7 @@ from ..scheduling.baselines import (
 from ..scheduling.fifo import FifoCIOQPolicy, FifoCrossbarPolicy
 from ..switch.config import SwitchConfig
 from ..traffic import (
+    ApplicationMixTraffic,
     BernoulliTraffic,
     BurstyTraffic,
     DiagonalTraffic,
@@ -220,6 +221,7 @@ TRAFFIC_KINDS: Dict[str, Callable[..., TrafficModel]] = {
     "diagonal": _stochastic(DiagonalTraffic),
     "markov": _stochastic(MarkovModulatedTraffic),
     "pareto-burst": _stochastic(ParetoBurstTraffic),
+    "appmix": _stochastic(ApplicationMixTraffic),
     "replay": _build_replay,
     "adversarial": _build_adversarial,
 }

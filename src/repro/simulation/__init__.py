@@ -16,6 +16,7 @@ from .engine import (
     run_cioq,
     run_cioq_batch,
     run_cioq_streaming,
+    run_crossbar_streaming,
     run_crossbar,
     run_crossbar_batch,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "run_cioq",
     "run_cioq_batch",
     "run_cioq_streaming",
+    "run_crossbar_streaming",
     "run_crossbar",
     "run_crossbar_batch",
     "run_slot_loop",

@@ -278,6 +278,60 @@ def run_crossbar(
     )
 
 
+def run_crossbar_streaming(
+    policy: CrossbarPolicy,
+    config: SwitchConfig,
+    source: Callable[[int, CrossbarSwitch], Sequence[ArrivalSpec]],
+    n_slots: int,
+    record: bool = False,
+    backend: str = DEFAULT_BACKEND,
+) -> SimulationResult:
+    """Like :func:`run_crossbar` but with arrivals produced online by
+    ``source(slot, switch)`` — the crossbar counterpart of
+    :func:`run_cioq_streaming`, with the identical contract: the source
+    is consulted for the first ``n_slots`` slots, packet ids are
+    assigned in arrival-event order, ``backend="fast"`` raises
+    :class:`~repro.simulation.backends.BackendUnsupported`, and
+    ``backend="auto"`` silently uses the reference kernel.
+
+    Besides adaptive adversaries, both streaming entries drive the
+    memory-bounded trace-replay path: a
+    :class:`~repro.traffic.base.TrafficModel`'s ``arrival_source(seed)``
+    plugs in here and produces results byte-identical to running the
+    materialized ``generate(n_slots, seed)`` trace.
+    """
+    validate_backend(backend)
+    if backend == "fast":
+        raise BackendUnsupported(
+            "the fast backend does not support streaming arrival sources"
+        )
+    switch = CrossbarSwitch(config)
+    policy.reset(switch)
+    horizon = n_slots + drain_bound(config)
+    result = _make_result(policy, config, n_slots, horizon)
+
+    pid = 0
+
+    def arrivals_for(t: int) -> List[Packet]:
+        nonlocal pid
+        packets: List[Packet] = []
+        for src, dst, value in source(t, switch):
+            packets.append(Packet(pid, value, t, src, dst))
+            pid += 1
+        return packets
+
+    return run_slot_loop(
+        switch,
+        policy,
+        arrivals_for,
+        n_slots,
+        horizon,
+        result,
+        crossbar=True,
+        recorder=LogRecorder(result) if record else NULL_RECORDER,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Batched runs (seed ladders)
 # ---------------------------------------------------------------------------

@@ -10,6 +10,9 @@ from importlib import import_module
 
 _EXPORTS = {
     "Trace": ".trace",
+    "is_stream_file": ".trace",
+    "iter_stream_slots": ".trace",
+    "read_stream_header": ".trace",
     "ValueModel": ".values",
     "exponential_values": ".values",
     "geometric_class_values": ".values",
@@ -30,6 +33,7 @@ _EXPORTS = {
     "HotspotTraffic": ".hotspot",
     "MarkovModulatedTraffic": ".markov",
     "ParetoBurstTraffic": ".paretoburst",
+    "ApplicationMixTraffic": ".appmix",
     "TraceReplayTraffic": ".replay",
     "AdaptiveAdversary": ".adversarial",
     "FullQueuePressureAdversary": ".adversarial",
@@ -61,6 +65,9 @@ def __dir__():
 
 __all__ = [
     "Trace",
+    "is_stream_file",
+    "iter_stream_slots",
+    "read_stream_header",
     "ValueModel",
     "exponential_values",
     "geometric_class_values",
@@ -81,6 +88,7 @@ __all__ = [
     "HotspotTraffic",
     "MarkovModulatedTraffic",
     "ParetoBurstTraffic",
+    "ApplicationMixTraffic",
     "TraceReplayTraffic",
     "AdaptiveAdversary",
     "FullQueuePressureAdversary",

@@ -67,6 +67,11 @@ class BurstyTraffic(TrafficModel):
         self.dst_probs = normalized_dst_weights(n_out, dst_weights)
         self._state: Optional[np.ndarray] = None
 
+    def reset(self) -> None:
+        """Drop per-input ON/OFF state so the next run redraws from the
+        stationary distribution."""
+        self._state = None
+
     def arrivals_for_slot(
         self, slot: int, rng: np.random.Generator
     ) -> List[Tuple[int, int]]:

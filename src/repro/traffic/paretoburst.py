@@ -76,6 +76,12 @@ class ParetoBurstTraffic(TrafficModel):
         self._remaining: Optional[np.ndarray] = None
         self._target: Optional[np.ndarray] = None
 
+    def reset(self) -> None:
+        """Drop in-flight burst state (remaining length and target) so
+        the next run starts with every input idle."""
+        self._remaining = None
+        self._target = None
+
     def _draw_burst(self, rng: np.random.Generator, i: int) -> None:
         length = int(np.ceil(rng.pareto(self.shape) + 1e-12)) or 1
         self._remaining[i] = min(max(length, 1), self.max_burst)

@@ -6,18 +6,61 @@ per-slot arrival lists the simulation engine consumes, summary statistics
 for reports, and JSON (de)serialization so that interesting instances
 (e.g. adversarial gadgets or ratio outliers found in sweeps) can be saved
 and replayed.
+
+Two on-disk formats exist:
+
+* the **legacy single-document JSON** written by :meth:`Trace.save` —
+  fine for small instances, but loading materializes every packet;
+* the **chunked stream format** written by :meth:`Trace.save_stream` —
+  a JSONL file (one header line, then one line per fixed-width slot
+  chunk) that :func:`iter_stream_slots` replays at O(chunk) peak
+  memory, so multi-million-packet recordings never have to fit in RAM.
+
+:meth:`Trace.load` sniffs the format, so every consumer that accepts a
+trace path transparently reads both.
+
+A trace's slot count is part of the instance: a recording that ends
+with intended idle time (drain slots, the gap of a warm-up/attack
+composition) keeps it through ``n_slots``, which both serializers
+persist and :func:`~repro.traffic.transforms.concat` and
+:class:`~repro.traffic.replay.TraceReplayTraffic` tiling respect.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..switch.packet import Packet, total_value, validate_packets
 
+#: Magic ``format`` value of the chunked stream header line.
+STREAM_FORMAT = "repro-trace-stream"
+
+#: Bump when the stream schema changes (readers check this).
+STREAM_VERSION = 1
+
+#: Default arrival slots per stream chunk line.
+STREAM_CHUNK_SLOTS = 4096
+
 
 class Trace:
-    """An input sequence of packets for an ``n_in x n_out`` switch."""
+    """An input sequence of packets for an ``n_in x n_out`` switch.
+
+    Parameters
+    ----------
+    packets:
+        The arrival sequence (validated, sorted by ``(arrival, pid)``).
+    n_in, n_out:
+        Switch dimensions.
+    name:
+        Display name, propagated into result reports.
+    n_slots:
+        Explicit arrival-slot count.  Defaults to ``last arrival + 1``
+        (0 for an empty trace), but a recording that ends with intended
+        idle slots must say so — otherwise concatenation and replay
+        tiling would silently drop the trailing idle time.  Must be at
+        least the derived value.
+    """
 
     def __init__(
         self,
@@ -25,12 +68,23 @@ class Trace:
         n_in: int,
         n_out: int,
         name: str = "trace",
+        n_slots: Optional[int] = None,
     ):
         self.n_in = int(n_in)
         self.n_out = int(n_out)
         self.name = name
         self.packets: List[Packet] = validate_packets(packets, self.n_in, self.n_out)
-        self.n_slots = (self.packets[-1].arrival + 1) if self.packets else 0
+        derived = (self.packets[-1].arrival + 1) if self.packets else 0
+        if n_slots is None:
+            self.n_slots = derived
+        else:
+            n_slots = int(n_slots)
+            if n_slots < derived:
+                raise ValueError(
+                    f"n_slots={n_slots} is smaller than the last arrival "
+                    f"slot + 1 ({derived})"
+                )
+            self.n_slots = n_slots
         self._by_slot: List[List[Packet]] = [[] for _ in range(self.n_slots)]
         for p in self.packets:
             self._by_slot[p.arrival].append(p)
@@ -43,7 +97,7 @@ class Trace:
 
     def arrivals(self, slot: int) -> Sequence[Packet]:
         """Packets arriving in ``slot`` (empty past the last arrival)."""
-        if 0 <= slot < self.n_slots:
+        if 0 <= slot < len(self._by_slot):
             return self._by_slot[slot]
         return ()
 
@@ -108,6 +162,7 @@ class Trace:
             "name": self.name,
             "n_in": self.n_in,
             "n_out": self.n_out,
+            "n_slots": self.n_slots,
             "packets": [
                 [p.pid, p.value, p.arrival, p.src, p.dst] for p in self.packets
             ],
@@ -122,8 +177,11 @@ class Trace:
                    src=int(r[3]), dst=int(r[4]))
             for r in payload["packets"]
         ]
+        # Files written before the explicit-slot-count fix carry no
+        # "n_slots"; fall back to the derived value they always implied.
         return cls(packets, payload["n_in"], payload["n_out"],
-                   name=payload.get("name", "trace"))
+                   name=payload.get("name", "trace"),
+                   n_slots=payload.get("n_slots"))
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -131,11 +189,172 @@ class Trace:
 
     @classmethod
     def load(cls, path: str) -> "Trace":
+        """Load a trace from either on-disk format (sniffed)."""
+        if is_stream_file(path):
+            return cls.load_stream(path)
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_json(fh.read())
+
+    # -- chunked stream format ------------------------------------------------
+
+    def save_stream(self, path: str,
+                    chunk_slots: int = STREAM_CHUNK_SLOTS) -> None:
+        """Write the trace as a chunked JSONL stream.
+
+        Line 1 is the header (format/version/dimensions/``n_slots``/
+        packet count); each further line covers ``chunk_slots`` arrival
+        slots ``[base, base + chunk_slots)`` with its packets as
+        ``[pid, value, arrival, src, dst]`` rows.  Trailing idle slots
+        are represented by the header's ``n_slots`` (empty chunks are
+        not written), so the format round-trips exactly and
+        :func:`iter_stream_slots` replays it at O(chunk) peak memory.
+        """
+        if chunk_slots < 1:
+            raise ValueError("chunk_slots must be >= 1")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "format": STREAM_FORMAT,
+                "version": STREAM_VERSION,
+                "name": self.name,
+                "n_in": self.n_in,
+                "n_out": self.n_out,
+                "n_slots": self.n_slots,
+                "n_packets": len(self.packets),
+                "chunk_slots": int(chunk_slots),
+            }))
+            fh.write("\n")
+            i = 0
+            packets = self.packets
+            n = len(packets)
+            for base in range(0, self.n_slots, chunk_slots):
+                stop = base + chunk_slots
+                rows = []
+                while i < n and packets[i].arrival < stop:
+                    p = packets[i]
+                    rows.append([p.pid, p.value, p.arrival, p.src, p.dst])
+                    i += 1
+                if rows:
+                    fh.write(json.dumps({"base": base, "packets": rows}))
+                    fh.write("\n")
+
+    @classmethod
+    def load_stream(cls, path: str) -> "Trace":
+        """Materialize a chunked stream file into a :class:`Trace`.
+
+        This loads every packet into RAM — it is the *control* path for
+        differential tests; memory-bounded consumers should use
+        :func:`iter_stream_slots` (or
+        :class:`~repro.traffic.replay.TraceReplayTraffic`'s streaming
+        source) instead.
+        """
+        header = read_stream_header(path)
+        packets: List[Packet] = []
+        for _slot, arrivals in iter_stream_slots(path):
+            packets.extend(arrivals)
+        return cls(packets, header["n_in"], header["n_out"],
+                   name=header.get("name", "trace"),
+                   n_slots=header["n_slots"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Trace({self.name!r}, {len(self.packets)} packets, "
             f"{self.n_in}x{self.n_out}, {self.n_slots} slots)"
+        )
+
+
+# --------------------------------------------------------------------------
+# Stream readers (module-level: usable without materializing a Trace)
+# --------------------------------------------------------------------------
+
+def is_stream_file(path: str) -> bool:
+    """True if ``path`` starts with a chunked-stream header line."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            head = fh.readline()
+        return json.loads(head).get("format") == STREAM_FORMAT
+    except (OSError, ValueError):
+        return False
+
+
+def read_stream_header(path: str) -> Dict[str, object]:
+    """Parse and validate the header line of a chunked stream file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+    if header.get("format") != STREAM_FORMAT:
+        raise ValueError(f"{path} is not a {STREAM_FORMAT} file")
+    if header.get("version") != STREAM_VERSION:
+        raise ValueError(
+            f"{path}: unsupported stream version {header.get('version')!r} "
+            f"(this build reads version {STREAM_VERSION})"
+        )
+    for key in ("n_in", "n_out", "n_slots", "n_packets"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            raise ValueError(f"{path}: bad stream header field {key!r}")
+    return header
+
+
+def iter_stream_slots(path: str) -> Iterator[Tuple[int, List[Packet]]]:
+    """Yield ``(slot, packets)`` for every slot ``0 .. n_slots - 1``.
+
+    Empty slots (including trailing idle ones) yield an empty list, so
+    consuming the generator replays the exact recorded timeline.  Peak
+    memory is one chunk of packets — the file is read strictly forward
+    and nothing is retained across chunks.
+    """
+    header = read_stream_header(path)
+    n_in, n_out = header["n_in"], header["n_out"]
+    n_slots = header["n_slots"]
+    n_seen = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        fh.readline()  # header
+        slot = 0
+        prev_base = -1
+        for line in fh:
+            if not line.strip():
+                continue
+            chunk = json.loads(line)
+            base = int(chunk["base"])
+            if base <= prev_base or base >= n_slots:
+                raise ValueError(
+                    f"{path}: chunk base {base} out of order or range"
+                )
+            prev_base = base
+            while slot < base:
+                yield slot, []
+                slot += 1
+            by_slot: Dict[int, List[Packet]] = {}
+            for r in chunk["packets"]:
+                p = Packet(pid=int(r[0]), value=float(r[1]),
+                           arrival=int(r[2]), src=int(r[3]), dst=int(r[4]))
+                if not (0 <= p.src < n_in and 0 <= p.dst < n_out):
+                    raise ValueError(
+                        f"{path}: packet {p.pid} ports out of range"
+                    )
+                if p.arrival < base:
+                    raise ValueError(
+                        f"{path}: packet {p.pid} arrival {p.arrival} "
+                        f"before its chunk base {base}"
+                    )
+                if p.arrival >= n_slots:
+                    raise ValueError(
+                        f"{path}: packet {p.pid} arrival {p.arrival} "
+                        f"beyond n_slots {n_slots}"
+                    )
+                by_slot.setdefault(p.arrival, []).append(p)
+                n_seen += 1
+            for t in sorted(by_slot):
+                while slot < t:
+                    yield slot, []
+                    slot += 1
+                arrivals = by_slot[t]
+                arrivals.sort(key=lambda p: p.pid)
+                yield slot, arrivals
+                slot += 1
+        while slot < n_slots:
+            yield slot, []
+            slot += 1
+    if n_seen != header["n_packets"]:
+        raise ValueError(
+            f"{path}: stream carries {n_seen} packets but the header "
+            f"promises {header['n_packets']}"
         )

@@ -10,21 +10,21 @@ fresh, arrival-ordered pids, preserving the determinism conventions).
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..switch.packet import Packet
 from .trace import Trace
 
 
 def _reissue(packets: Sequence[Packet], n_in: int, n_out: int,
-             name: str) -> Trace:
+             name: str, n_slots: Optional[int] = None) -> Trace:
     """Rebuild a trace with canonical arrival-ordered pids."""
     ordered = sorted(packets, key=lambda p: (p.arrival, p.pid))
     fresh = [
         Packet(pid, p.value, p.arrival, p.src, p.dst)
         for pid, p in enumerate(ordered)
     ]
-    return Trace(fresh, n_in, n_out, name=name)
+    return Trace(fresh, n_in, n_out, name=name, n_slots=n_slots)
 
 
 def concat(first: Trace, second: Trace, gap: int = 0) -> Trace:
@@ -46,6 +46,7 @@ def concat(first: Trace, second: Trace, gap: int = 0) -> Trace:
     return _reissue(
         packets, first.n_in, first.n_out,
         name=f"concat({first.name},{second.name})",
+        n_slots=offset + second.n_slots,
     )
 
 
@@ -62,6 +63,7 @@ def merge(first: Trace, second: Trace) -> Trace:
         first.n_in,
         first.n_out,
         name=f"merge({first.name},{second.name})",
+        n_slots=max(first.n_slots, second.n_slots),
     )
 
 
@@ -81,6 +83,7 @@ def scale_values(trace: Trace, factor: float) -> Trace:
         trace.n_in,
         trace.n_out,
         name=f"scale({trace.name},x{factor:g})",
+        n_slots=trace.n_slots,
     )
 
 
@@ -94,6 +97,7 @@ def map_values(trace: Trace, fn: Callable[[float], float]) -> Trace:
         trace.n_in,
         trace.n_out,
         name=f"mapped({trace.name})",
+        n_slots=trace.n_slots,
     )
 
 
@@ -122,6 +126,7 @@ def restrict_ports(
     return _reissue(
         kept, len(in_map), len(out_map),
         name=f"restrict({trace.name})",
+        n_slots=trace.n_slots,
     )
 
 
@@ -142,4 +147,5 @@ def time_dilate(trace: Trace, factor: int) -> Trace:
         trace.n_in,
         trace.n_out,
         name=f"dilate({trace.name},x{factor})",
+        n_slots=(trace.n_slots - 1) * factor + 1 if trace.n_slots else 0,
     )

@@ -29,6 +29,7 @@ from repro.scenarios.spec import (
     ScenarioSpec,
 )
 from repro.traffic import (
+    ApplicationMixTraffic,
     BernoulliTraffic,
     BurstyTraffic,
     DiagonalTraffic,
@@ -166,7 +167,7 @@ def spec_strategy(rng: random.Random) -> ScenarioSpec:
         model=model,
         switch=switch,
         traffic=rng.choice(["bernoulli", "bursty", "hotspot", "diagonal",
-                            "markov", "pareto-burst", "replay",
+                            "markov", "pareto-burst", "appmix", "replay",
                             "adversarial"]),
         traffic_params=params_dict(rng),
         values=rng.choice(["unit", "uniform", "two-value", "exponential",
@@ -215,7 +216,7 @@ def traffic_strategy(
     n_in = rng.randint(1, 6)
     n_out = rng.randint(1, 6)
     values = value_model_strategy(rng)
-    kind = rng.randrange(6)
+    kind = rng.randrange(7)
     if kind == 0:
         model: TrafficModel = BernoulliTraffic(
             n_in, n_out, load=rng.uniform(0.0, 3.0), value_model=values)
@@ -243,12 +244,26 @@ def traffic_strategy(
             rows.append([x / total for x in raw])
         model = MarkovModulatedTraffic(
             n_in, n_out, loads=loads, transition=rows, value_model=values)
-    else:
+    elif kind == 5:
         model = ParetoBurstTraffic(
             n_in, n_out, shape=rng.uniform(0.8, 3.0),
             p_start=rng.uniform(0.05, 1.0),
             burst_load=rng.uniform(0.5, 3.0),
             max_burst=rng.randint(1, 200), value_model=values)
+    else:
+        model = ApplicationMixTraffic(
+            n_in, n_out,
+            web={"p_start": rng.uniform(0.0, 0.3),
+                 "shape": rng.uniform(0.8, 2.0),
+                 "max_len": rng.randint(1, 80),
+                 "rate": rng.uniform(0.2, 3.0)},
+            video={"p_start": rng.uniform(0.0, 0.1),
+                   "mean_len": rng.uniform(1.0, 200.0),
+                   "rate": rng.uniform(0.2, 1.5)},
+            voip={"p_start": rng.uniform(0.0, 0.3),
+                  "mean_len": rng.uniform(1.0, 50.0),
+                  "rate": rng.uniform(0.05, 1.0)},
+            load_scale=rng.uniform(0.3, 1.5), value_model=values)
     return model, n_in, n_out
 
 

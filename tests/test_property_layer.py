@@ -16,8 +16,10 @@ pytest id, so a failure names the exact value to reproduce with).
 """
 
 import math
+import os
 import random
 import statistics
+import tempfile
 
 import pytest
 
@@ -31,6 +33,7 @@ from _strategies import (
 from repro.scenarios import ScenarioSpec
 from repro.stats import Welford
 from repro.traffic.replay import TraceReplayTraffic
+from repro.traffic.trace import Trace
 
 SEEDS = property_seeds()
 
@@ -109,6 +112,86 @@ class TestTrafficInvariants:
                     for p in replayed.packets] == \
                    [(p.src, p.dst, p.arrival, p.value)
                     for p in original.packets], model.name
+
+
+def _packet_rows(trace):
+    return [(p.pid, p.value, p.arrival, p.src, p.dst)
+            for p in trace.packets]
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=_ids)
+class TestTraceStreaming:
+    def test_stream_round_trip_identity_with_trailing_idle(self, seed):
+        """save_stream -> load round-trips any trace exactly, explicit
+        trailing idle slots included (the n_slots bugfix)."""
+        rng = random.Random(seed)
+        for case in range(N_CASES):
+            model, _n_in, _n_out = traffic_strategy(rng)
+            n_slots = rng.randint(1, 30)
+            trace = model.generate(n_slots, seed=rng.randrange(10_000))
+            if rng.random() < 0.5:
+                # Re-wrap with extra trailing idle slots.
+                trace = Trace(trace.packets, trace.n_in, trace.n_out,
+                              name=trace.name,
+                              n_slots=trace.n_slots + rng.randint(1, 20))
+            context = f"seed={seed:#x} case={case} model={model.name!r}"
+            fd, path = tempfile.mkstemp(suffix=".jsonl")
+            os.close(fd)
+            try:
+                trace.save_stream(path, chunk_slots=rng.randint(1, 40))
+                back = Trace.load(path)
+            finally:
+                os.unlink(path)
+            assert back.n_slots == trace.n_slots, context
+            assert (back.n_in, back.n_out) == \
+                   (trace.n_in, trace.n_out), context
+            assert _packet_rows(back) == _packet_rows(trace), context
+            # The legacy JSON round trip carries n_slots too.
+            again = Trace.from_json(trace.to_json())
+            assert again.n_slots == trace.n_slots, context
+            assert _packet_rows(again) == _packet_rows(trace), context
+
+    def test_arrival_source_matches_generate(self, seed):
+        """Driving a model's streaming arrival_source slot-by-slot
+        reproduces generate()'s packets exactly (the byte-identity
+        contract behind run_*_streaming)."""
+        rng = random.Random(seed)
+        for case in range(N_CASES):
+            model, _n_in, _n_out = traffic_strategy(rng)
+            n_slots = rng.randint(1, 30)
+            trace_seed = rng.randrange(10_000)
+            trace = model.generate(n_slots, seed=trace_seed)
+            source = model.arrival_source(seed=trace_seed)
+            streamed = []
+            for t in range(n_slots):
+                for src, dst, value in source(t, None):
+                    streamed.append((len(streamed), value, t, src, dst))
+            context = f"seed={seed:#x} case={case} model={model.name!r}"
+            assert streamed == _packet_rows(trace), context
+
+    def test_streaming_replay_matches_materialized(self, seed):
+        """A stream-file-backed TraceReplayTraffic replays arrivals and
+        recorded values identically to the materialized trace."""
+        rng = random.Random(seed)
+        for case in range(N_CASES):
+            model, _n_in, _n_out = traffic_strategy(rng)
+            n_slots = rng.randint(1, 25)
+            trace = model.generate(n_slots, seed=rng.randrange(10_000))
+            context = f"seed={seed:#x} case={case} model={model.name!r}"
+            fd, path = tempfile.mkstemp(suffix=".jsonl")
+            os.close(fd)
+            try:
+                trace.save_stream(path, chunk_slots=rng.randint(1, 10))
+                replay = TraceReplayTraffic(path)
+                assert replay._trace is None, context  # not materialized
+                source = replay.arrival_source()
+                streamed = []
+                for t in range(trace.n_slots):
+                    for src, dst, value in source(t, None):
+                        streamed.append((len(streamed), value, t, src, dst))
+            finally:
+                os.unlink(path)
+            assert streamed == _packet_rows(trace), context
 
 
 @pytest.mark.parametrize("seed", SEEDS, ids=_ids)

@@ -194,9 +194,11 @@ class TestTraceReplay:
         assert a == b
 
     def test_arrivals_for_slot_interface(self):
+        # Replay returns (src, dst, value) triples: recorded values are
+        # part of the instance and must survive the streaming path.
         src = BernoulliTraffic(2, 2, load=2.0).generate(4, seed=1)
         r = TraceReplayTraffic(src, repeat=True)
         rng = np.random.default_rng(0)
-        direct = [(p.src, p.dst) for p in src.arrivals(1)]
+        direct = [(p.src, p.dst, p.value) for p in src.arrivals(1)]
         assert r.arrivals_for_slot(1, rng) == direct
         assert r.arrivals_for_slot(1 + src.n_slots, rng) == direct

@@ -28,6 +28,14 @@ Commands
     Statistics over written result artifacts: ``summarize`` recomputes
     mean/std/CI summary rows from an existing ``results/<name>/``
     record without re-simulating.
+``obs``
+    Observability surface (see docs/observability.md): ``export``
+    renders a written ``metrics.jsonl`` stream as Prometheus text,
+    ``tail`` prints its last events.  ``sweep``, ``scenarios run`` and
+    ``trace replay`` grow ``--metrics`` / ``--metrics-every K`` /
+    ``--metrics-out DIR`` flags that collect deterministic run metrics
+    (identical bytes for any worker count) plus a quarantined wall-time
+    ledger.
 ``constants``
     Print the paper's analytical constants with numerical verification.
 
@@ -50,6 +58,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -149,6 +158,55 @@ def _make_policy(name: str, model: str, beta: Optional[float]):
     return policy, bound
 
 
+def _resolve_metrics_every(args) -> Optional[int]:
+    """Map the ``--metrics``/``--metrics-every`` pair onto the executor
+    contract: ``None`` = off, ``0`` = counters only, ``K >= 1`` = also
+    sample the per-slot series every K slots."""
+    if args.metrics_every is not None:
+        if args.metrics_every < 1:
+            raise SystemExit("--metrics-every must be >= 1")
+        return args.metrics_every
+    return 0 if args.metrics else None
+
+
+def _stderr_progress(event) -> None:
+    """Heartbeat printer for ``SweepExecutor`` progress events (stderr,
+    so stdout tables and artifacts stay clean)."""
+    kind = event.get("event")
+    if kind == "cache":
+        print(f"# cache scan: {event['hits']} hits, {event['misses']} "
+              f"misses of {event['total']} points", file=sys.stderr)
+    elif kind == "point":
+        print(f"# point {event['index'] + 1}/{event['total']} "
+              f"pid={event['pid']} {event['elapsed']:.3f}s",
+              file=sys.stderr)
+
+
+def _emit_metrics(metrics_out: Optional[str], snapshot, walltimes,
+                  extra=None) -> None:
+    """Write ``metrics.jsonl`` + ``timings.json`` into ``metrics_out``,
+    or print the Prometheus rendering when no directory is given."""
+    from .obs import (
+        METRICS_FILENAME,
+        TIMINGS_FILENAME,
+        prometheus_text,
+        write_jsonl,
+        write_walltimes,
+    )
+
+    if snapshot is None:
+        print("metrics: nothing recorded", file=sys.stderr)
+        return
+    if metrics_out is None:
+        print(prometheus_text(snapshot), end="")
+        return
+    mpath = write_jsonl(os.path.join(metrics_out, METRICS_FILENAME),
+                        snapshot)
+    tpath = write_walltimes(os.path.join(metrics_out, TIMINGS_FILENAME),
+                            walltimes, extra=extra)
+    print(f"metrics: {mpath}  {tpath}")
+
+
 def cmd_figures(args) -> int:
     config = SwitchConfig.square(args.n, b_in=3, b_out=3, b_cross=1)
     print(render_cioq(CIOQSwitch(config),
@@ -237,8 +295,12 @@ def cmd_sweep(args) -> int:
                                seed=seed)
                 )
 
-    ex = SweepExecutor(workers=args.workers, cache_dir=args.cache_dir,
-                       backend=args.backend)
+    metrics_every = _resolve_metrics_every(args)
+    ex = SweepExecutor(
+        workers=args.workers, cache_dir=args.cache_dir,
+        backend=args.backend, metrics_every=metrics_every,
+        progress=_stderr_progress if metrics_every is not None else None,
+    )
     payloads = iter(ex.run(points))
     columns = names + (["OPT"] if args.opt else [])
     rows = []
@@ -269,6 +331,13 @@ def cmd_sweep(args) -> int:
     if ex.cache_dir:
         print(f"cache: {ex.cache_hits} hits, {ex.cache_misses} misses "
               f"({ex.cache_dir})")
+    if metrics_every is not None:
+        total = sum(t["elapsed"] for t in ex.timings)
+        _emit_metrics(args.metrics_out, ex.merged_obs(),
+                      {"point_seconds_total": total},
+                      extra={"points": ex.timings,
+                             "cache_hits": ex.cache_hits,
+                             "cache_misses": ex.cache_misses})
     return 0
 
 
@@ -342,6 +411,17 @@ def cmd_scenarios_run(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"bad override: {exc}") from None
 
+    # The CLI owns the executor so it can surface cache statistics and
+    # metrics regardless of which path (plain/replicated) consumes it.
+    from .parallel import SweepExecutor
+
+    metrics_every = _resolve_metrics_every(args)
+    ex = SweepExecutor(
+        workers=args.workers, cache_dir=args.cache_dir,
+        backend=args.backend, metrics_every=metrics_every,
+        progress=_stderr_progress if metrics_every is not None else None,
+    )
+
     # A spec with a replicates block runs replicated by default; any
     # replication flag opts an ordinary spec in (and overrides blocks).
     replicated = bool(spec.replicates) or any(
@@ -376,24 +456,38 @@ def cmd_scenarios_run(args) -> int:
             )
         except ValueError as exc:
             raise SystemExit(f"bad replication plan: {exc}") from None
-        rrun = replicate_scenario(spec, plan=plan, workers=args.workers,
-                                  cache_dir=args.cache_dir,
-                                  backend=args.backend,
+        rrun = replicate_scenario(spec, plan=plan, executor=ex,
                                   opt_mode=args.opt_mode,
                                   opt_window=args.opt_window)
         print(rrun.tables())
+        name = rrun.spec.name
         if not args.no_artifacts:
             paths = write_replicated_artifacts(rrun, args.out)
             print(f"artifacts: {'  '.join(paths)}")
-        return 0
+    else:
+        run = run_scenario(spec, executor=ex, opt_mode=args.opt_mode,
+                           opt_window=args.opt_window)
+        print(run.tables())
+        name = run.spec.name
+        if not args.no_artifacts:
+            json_path, csv_path, toml_path = write_artifacts(run, args.out)
+            print(f"artifacts: {json_path}  {csv_path}  {toml_path}")
 
-    run = run_scenario(spec, workers=args.workers, cache_dir=args.cache_dir,
-                       backend=args.backend, opt_mode=args.opt_mode,
-                       opt_window=args.opt_window)
-    print(run.tables())
-    if not args.no_artifacts:
-        json_path, csv_path, toml_path = write_artifacts(run, args.out)
-        print(f"artifacts: {json_path}  {csv_path}  {toml_path}")
+    if ex.cache_dir:
+        print(f"cache: {ex.cache_hits} hits, {ex.cache_misses} misses "
+              f"({ex.cache_dir})")
+    if metrics_every is not None:
+        # Default the metric artifacts into the scenario's results dir
+        # (next to result.json / manifest.json) unless redirected.
+        metrics_out = args.metrics_out
+        if metrics_out is None and not args.no_artifacts:
+            metrics_out = os.path.join(args.out, name)
+        total = sum(t["elapsed"] for t in ex.timings)
+        _emit_metrics(metrics_out, ex.merged_obs(),
+                      {"point_seconds_total": total},
+                      extra={"points": ex.timings,
+                             "cache_hits": ex.cache_hits,
+                             "cache_misses": ex.cache_misses})
     return 0
 
 
@@ -534,6 +628,13 @@ def cmd_trace_replay(args) -> int:
         limit = int(args.rss_limit_mb) * (1 << 20)
         resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
 
+    metrics_every = _resolve_metrics_every(args)
+    rec = None
+    if metrics_every is not None:
+        from .obs import InMemoryRecorder
+
+        rec = InMemoryRecorder(every_k=metrics_every, timed=True)
+
     policy, _ = _make_policy(args.policy, args.model, args.beta)
     if is_stream_file(args.path):
         header = read_stream_header(args.path)
@@ -549,12 +650,14 @@ def cmd_trace_replay(args) -> int:
     if args.materialized:
         trace = Trace.load(args.path)
         runner = run_cioq if args.model == "cioq" else run_crossbar
-        result = runner(policy, config, trace, backend="reference")
+        result = runner(policy, config, trace, backend="reference",
+                        metrics=rec)
     else:
         replay = TraceReplayTraffic(args.path)
         runner = (run_cioq_streaming if args.model == "cioq"
                   else run_crossbar_streaming)
-        result = runner(policy, config, replay.arrival_source(), n_slots)
+        result = runner(policy, config, replay.arrival_source(), n_slots,
+                        metrics=rec)
 
     artifact = _json.dumps(result.summary(), indent=2, sort_keys=True) + "\n"
     if args.output:
@@ -564,11 +667,67 @@ def cmd_trace_replay(args) -> int:
         print(f"wrote {args.output} ({mode})")
     else:
         print(artifact, end="")
+    if rec is not None:
+        _emit_metrics(args.metrics_out, rec.snapshot(), rec.walltimes())
     if args.report_rss:
         import resource
 
         peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         print(f"peak RSS: {peak_kb / 1024:.1f} MiB", file=sys.stderr)
+    return 0
+
+
+def _metrics_stream_path(target: str) -> str:
+    """Resolve an ``obs`` target: a results dir (containing
+    ``metrics.jsonl``) or a direct path to a JSONL stream."""
+    from .obs import METRICS_FILENAME
+
+    if os.path.isdir(target):
+        return os.path.join(target, METRICS_FILENAME)
+    return target
+
+
+def cmd_obs_export(args) -> int:
+    """Render a written metrics stream as Prometheus exposition text."""
+    from .obs import iter_jsonl, prometheus_text, snapshot_from_events
+
+    path = _metrics_stream_path(args.target)
+    try:
+        snap = snapshot_from_events(iter_jsonl(path))
+    except FileNotFoundError:
+        raise SystemExit(
+            f"no metrics stream at {path} (produce one with --metrics, "
+            f"e.g. `repro scenarios run <name> --metrics`)") from None
+    text = prometheus_text(snap)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_obs_tail(args) -> int:
+    """Print the last N events of a metrics stream (JSONL, one per
+    line), optionally filtered by event type."""
+    import json as _json
+    from collections import deque
+
+    path = _metrics_stream_path(args.target)
+    from .obs import iter_jsonl
+
+    try:
+        events = iter_jsonl(path)
+        if args.event:
+            events = (e for e in events if e.get("event") == args.event)
+        last = deque(events, maxlen=max(0, args.lines))
+    except FileNotFoundError:
+        raise SystemExit(
+            f"no metrics stream at {path} (produce one with --metrics)"
+        ) from None
+    for ev in last:
+        print(_json.dumps(ev, sort_keys=True, separators=(",", ":")))
     return 0
 
 
@@ -589,6 +748,21 @@ def _add_backend(p: argparse.ArgumentParser) -> None:
                    help="slot-loop backend: reference (pure Python), "
                         "fast (vectorized numpy, bit-identical), or auto "
                         "(fast when possible; see docs/backends.md)")
+
+
+def _add_metrics(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="collect deterministic run metrics (counters; "
+                        "byte-identical for any worker count)")
+    p.add_argument("--metrics-every", type=int, default=None,
+                   dest="metrics_every", metavar="K",
+                   help="also sample the per-slot series every K slots "
+                        "(implies --metrics)")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="DIR",
+                   help="directory for metrics.jsonl + timings.json "
+                        "(default: the results dir when one is written, "
+                        "else Prometheus text on stdout)")
 
 
 def _add_opt_mode(p: argparse.ArgumentParser) -> None:
@@ -666,6 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--opt", action="store_true",
                          help="include the exact-OPT column")
     _add_backend(p_sweep)
+    _add_metrics(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_scen = sub.add_parser(
@@ -719,6 +894,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds per early-stopping batch")
     _add_backend(s_run)
     _add_opt_mode(s_run)
+    _add_metrics(s_run)
     s_run.set_defaults(func=cmd_scenarios_run)
 
     s_export = scen_sub.add_parser(
@@ -810,7 +986,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print peak RSS to stderr after the run")
     t_rep.add_argument("-o", "--output", default=None,
                        help="write the result artifact to a file")
+    _add_metrics(t_rep)
     t_rep.set_defaults(func=cmd_trace_replay)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability: export|tail a written metrics stream "
+             "(docs/observability.md)",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_exp = obs_sub.add_parser(
+        "export",
+        help="render a metrics.jsonl stream as Prometheus text",
+    )
+    o_exp.add_argument("target",
+                       help="results/<name>/ directory or a metrics.jsonl "
+                            "path")
+    o_exp.add_argument("-o", "--output", default=None,
+                       help="write to a file instead of stdout")
+    o_exp.set_defaults(func=cmd_obs_export)
+
+    o_tail = obs_sub.add_parser(
+        "tail", help="print the last events of a metrics stream"
+    )
+    o_tail.add_argument("target",
+                        help="results/<name>/ directory or a metrics.jsonl "
+                             "path")
+    o_tail.add_argument("-n", "--lines", type=int, default=10,
+                        help="number of trailing events to print")
+    o_tail.add_argument("--event", default=None,
+                        choices=("meta", "counter", "gauge", "histogram",
+                                 "sample"),
+                        help="only events of this type")
+    o_tail.set_defaults(func=cmd_obs_tail)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

@@ -1,0 +1,69 @@
+"""Benchmark trajectory ledger (``BENCH_history.jsonl``).
+
+The canonical ``BENCH_*.json`` snapshots are overwritten in place on
+every refresh, which loses the performance *trajectory*.  This module
+appends one dated entry per benchmark run to an append-only JSONL ledger
+so regressions and wins are visible over time.  Unlike the canonical
+snapshots (timestamp-free so they byte-diff), the history file is
+explicitly allowed to carry dates and machine noise — it is a log, not
+an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Default trajectory ledger, sibling to the BENCH_*.json snapshots.
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+
+def append_bench_history(
+    path: Path,
+    bench: str,
+    rows: object,
+    *,
+    quick: bool = False,
+    extra: Optional[Dict[str, object]] = None,
+    now: Optional[str] = None,
+) -> Path:
+    """Append one dated entry for a benchmark run.
+
+    ``bench`` names the producing benchmark (``"engine"``, ``"opt"``,
+    ``"obs"``); ``rows`` is the same payload the canonical snapshot
+    holds.  ``now`` overrides the timestamp (for tests).
+    """
+    from repro._version import __version__
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry: Dict[str, object] = {
+        "date": now or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "bench": bench,
+        "quick": bool(quick),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "rows": rows,
+    }
+    if extra:
+        entry.update(extra)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_history(path: Path) -> list:
+    """Load every entry from a trajectory ledger (empty if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

@@ -39,6 +39,9 @@ from functools import partial
 from multiprocessing import get_context
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from time import perf_counter
+
+from .obs import InMemoryRecorder, merge_snapshots
 from .offline.opt import OPT_MODES, cioq_opt, crossbar_opt
 from .simulation.backends import DEFAULT_BACKEND, validate_backend
 from .simulation.engine import (
@@ -129,7 +132,8 @@ def _policy_payload(res, point: SweepPoint) -> Dict[str, object]:
 
 
 def run_sweep_point(
-    point: SweepPoint, backend: str = DEFAULT_BACKEND
+    point: SweepPoint, backend: str = DEFAULT_BACKEND,
+    metrics_every: Optional[int] = None,
 ) -> Dict[str, object]:
     """Execute one sweep point; pure function of the point.
 
@@ -156,20 +160,52 @@ def run_sweep_point(
     backend contract it never changes the payload.  OPT points solve
     with the offline machinery selected by the point's ``opt_mode`` /
     ``opt_window``.
+
+    With ``metrics_every`` set, the point runs under a fresh
+    :class:`repro.obs.InMemoryRecorder` sampling every that many slots,
+    and the recorder's **deterministic** snapshot is embedded as
+    ``payload["obs"]`` — a pure function of the point like everything
+    else in the payload, so metric artifacts merged in point order are
+    byte-identical for any worker count.  Wall-times never enter the
+    payload (the executor keeps them in its quarantined timing ledger).
     """
     if point.policy_factory is None:
         solver = cioq_opt if point.model == "cioq" else crossbar_opt
         opt = solver(point.trace, point.config, mode=point.opt_mode,
                      window=point.opt_window)
         lo, hi = opt.bracket
-        return {"policy": "OPT", "benefit": opt.benefit,
-                "opt_mode": opt.mode, "opt_lower": lo, "opt_upper": hi,
-                "trace": point.trace.name, "seed": point.seed,
-                "tag": dict(point.tag)}
+        payload: Dict[str, object] = {
+            "policy": "OPT", "benefit": opt.benefit,
+            "opt_mode": opt.mode, "opt_lower": lo, "opt_upper": hi,
+            "trace": point.trace.name, "seed": point.seed,
+            "tag": dict(point.tag)}
+        if metrics_every is not None:
+            rec = InMemoryRecorder(every_k=metrics_every)
+            rec.counter("opt_solves_total")
+            payload["obs"] = rec.snapshot()
+        return payload
     policy = point.policy_factory()
     runner = run_cioq if point.model == "cioq" else run_crossbar
+    if metrics_every is not None:
+        rec = InMemoryRecorder(every_k=metrics_every)
+        res = runner(policy, point.config, point.trace, backend=backend,
+                     metrics=rec)
+        payload = _policy_payload(res, point)
+        payload["obs"] = rec.snapshot()
+        return payload
     res = runner(policy, point.config, point.trace, backend=backend)
     return _policy_payload(res, point)
+
+
+def _run_point_timed(point: SweepPoint, backend: str = DEFAULT_BACKEND,
+                     metrics_every: Optional[int] = None) -> tuple:
+    """Pool wrapper: execute one point and report ``(pid, elapsed,
+    payload)`` so the parent can fill its timing ledger and emit
+    worker heartbeats (module-level so it pickles)."""
+    t0 = perf_counter()
+    payload = run_sweep_point(point, backend=backend,
+                              metrics_every=metrics_every)
+    return os.getpid(), perf_counter() - t0, payload
 
 
 class SweepExecutor:
@@ -199,6 +235,26 @@ class SweepExecutor:
         deliberately **not** part of the cache key: backends are
         bit-identical by contract, so cached payloads are
         interchangeable.
+    metrics_every:
+        When set, every point runs instrumented (see
+        :func:`run_sweep_point`) and embeds a deterministic ``"obs"``
+        snapshot in its payload; :meth:`merged_obs` merges them in point
+        order.  Instrumented points skip the lockstep batch grouping and
+        run individually so each point's snapshot stays a pure function
+        of that point.  ``metrics_every`` joins the cache key (only when
+        set — uninstrumented sweeps keep their existing keys) because
+        instrumented and plain payloads differ.
+    progress:
+        Optional callable receiving progress/heartbeat event dicts from
+        :meth:`run` (``{"event": "cache", ...}``, per-point
+        ``{"event": "point", "index", "total", "pid", "elapsed"}``,
+        ``{"event": "done", ...}``).  Events carry wall-times and worker
+        pids — observability only, never part of any artifact.
+
+    After :meth:`run`: ``cache_hits`` / ``cache_misses`` count payload
+    cache outcomes, and ``timings`` is the per-point wall-time ledger
+    (list of ``{"index", "policy", "trace", "seed", "pid", "elapsed"}``
+    dicts) — quarantined, non-deterministic data for ``timings.json``.
     """
 
     def __init__(
@@ -207,14 +263,53 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         chunk_size: Optional[int] = None,
         backend: str = DEFAULT_BACKEND,
+        metrics_every: Optional[int] = None,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
     ):
         validate_backend(backend)
+        if metrics_every is not None and metrics_every < 0:
+            raise ValueError(
+                f"metrics_every must be >= 0, got {metrics_every}"
+            )
         self.workers = int(workers or 0)
         self.cache_dir = cache_dir
         self.chunk_size = chunk_size
         self.backend = backend
+        self.metrics_every = metrics_every
+        self.progress = progress
         self.cache_hits = 0
         self.cache_misses = 0
+        self.timings: List[Dict[str, object]] = []
+        self._last_results: List[Dict[str, object]] = []
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def _time_entry(self, index: int, point: SweepPoint, pid: int,
+                    elapsed: float) -> Dict[str, object]:
+        return {
+            "index": index,
+            "policy": describe_factory(point.policy_factory),
+            "trace": point.trace.name,
+            "seed": point.seed,
+            "pid": pid,
+            "elapsed": elapsed,
+        }
+
+    def merged_obs(self) -> Optional[Dict[str, object]]:
+        """Deterministic merge (point order) of the ``"obs"`` snapshots
+        embedded by every :meth:`run` this executor has served (batched
+        callers like replication share one executor); ``None`` when the
+        executor is uninstrumented.  Byte-identical for any worker count
+        and for cached vs fresh payloads."""
+        if self.metrics_every is None:
+            return None
+        snap = merge_snapshots(
+            p["obs"] for p in self._last_results if "obs" in p
+        )
+        snap["gauges"]["sweep_points_total"] = len(self._last_results)
+        return snap
 
     # -- cache ---------------------------------------------------------------
 
@@ -231,6 +326,11 @@ class SweepExecutor:
             "seed": point.seed,
             "opt": [point.opt_mode, point.opt_window],
         }
+        # Instrumented payloads carry an embedded "obs" snapshot, so
+        # they get distinct keys; the key is only extended when metrics
+        # are on, leaving every pre-existing cache entry addressable.
+        if self.metrics_every is not None:
+            spec["metrics"] = self.metrics_every
         blob = json.dumps(spec, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
@@ -278,19 +378,42 @@ class SweepExecutor:
             else:
                 pending.append(idx)
         self.cache_misses += len(pending)
+        self._emit({"event": "cache", "total": len(points),
+                    "hits": self.cache_hits, "misses": self.cache_misses})
 
-        if pending and self.backend != "reference":
+        # Instrumented points skip lockstep batch grouping: each point
+        # must run under its own recorder so payload["obs"] stays a pure
+        # per-point function (lockstep would entangle lanes).
+        if (pending and self.backend != "reference"
+                and self.metrics_every is None):
             pending = self._run_batched(points, results, keys, pending)
         if pending:
+            total = len(points)
             if self.workers > 1 and len(pending) > 1:
-                payloads = self._run_pool([points[i] for i in pending])
+                payloads = self._run_pool(
+                    [points[i] for i in pending], pending, total)
             else:
-                payloads = [run_sweep_point(points[i], backend=self.backend)
-                            for i in pending]
+                pid = os.getpid()
+                payloads = []
+                for i in pending:
+                    t0 = perf_counter()
+                    payload = run_sweep_point(
+                        points[i], backend=self.backend,
+                        metrics_every=self.metrics_every)
+                    elapsed = perf_counter() - t0
+                    self.timings.append(
+                        self._time_entry(i, points[i], pid, elapsed))
+                    self._emit({"event": "point", "index": i,
+                                "total": total, "pid": pid,
+                                "elapsed": elapsed})
+                    payloads.append(payload)
             for idx, payload in zip(pending, payloads):
                 if caching:
                     self._cache_put(keys[idx], payload)
                 results[idx] = payload
+        self._last_results.extend(results)  # type: ignore[arg-type]
+        self._emit({"event": "done", "total": len(points),
+                    "hits": self.cache_hits, "misses": self.cache_misses})
         return results  # type: ignore[return-value]
 
     def _run_batched(
@@ -337,9 +460,23 @@ class SweepExecutor:
                 results[idx] = payload
         return leftover
 
-    def _run_pool(self, points: List[SweepPoint]) -> List[Dict[str, object]]:
+    def _run_pool(self, points: List[SweepPoint], indices: List[int],
+                  total: int) -> List[Dict[str, object]]:
         workers = min(self.workers, len(points))
         chunk = self.chunk_size or -(-len(points) // (4 * workers))
         ctx = get_context()
+        func = partial(_run_point_timed, backend=self.backend,
+                       metrics_every=self.metrics_every)
+        payloads: List[Dict[str, object]] = []
         with ctx.Pool(processes=workers) as pool:
-            return pool.map(run_sweep_point, points, chunksize=max(1, chunk))
+            # imap preserves point order while streaming completions
+            # back, so heartbeats fire as workers finish each chunk.
+            for k, (pid, elapsed, payload) in enumerate(
+                    pool.imap(func, points, chunksize=max(1, chunk))):
+                idx = indices[k]
+                self.timings.append(
+                    self._time_entry(idx, points[k], pid, elapsed))
+                self._emit({"event": "point", "index": idx, "total": total,
+                            "pid": pid, "elapsed": elapsed})
+                payloads.append(payload)
+        return payloads

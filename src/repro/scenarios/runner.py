@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from .._version import __version__
 from ..analysis.ratio import per_seed_ratios
 from ..analysis.report import csv_table, format_table
+from ..obs import build_manifest, write_manifest
 from ..parallel import SweepExecutor, SweepPoint
 from ..simulation.backends import DEFAULT_BACKEND
 from .spec import ScenarioSpec
@@ -69,6 +70,10 @@ class ScenarioRun:
     #: artifact so exact and bracketed denominators are never conflated).
     opt_mode: str = "exact"
     opt_window: Optional[int] = None
+    #: Slot-loop backend the run executed with.  Recorded in the
+    #: provenance manifest only — never in ``result.json``, whose bytes
+    #: must stay backend-independent by the bit-identity contract.
+    backend: str = DEFAULT_BACKEND
 
     def artifact(self) -> Dict[str, object]:
         """The versioned, JSON-serializable result record."""
@@ -188,7 +193,7 @@ def run_scenario(
 
     return ScenarioRun(spec=spec, rows=rows, aggregates=aggregates,
                        metrics=metrics, opt_mode=opt_mode,
-                       opt_window=opt_window)
+                       opt_window=opt_window, backend=ex.backend)
 
 
 def compute_aggregates(
@@ -263,11 +268,34 @@ def compute_aggregates(
     return aggregates
 
 
+def build_run_manifest(run: ScenarioRun, kind: str = "scenario",
+                       extra: Optional[Dict[str, object]] = None
+                       ) -> Dict[str, object]:
+    """Provenance manifest for a scenario run (see
+    :mod:`repro.obs.manifest`): code version, spec hash, seeds, backend
+    and OPT mode — deterministic per machine, no timestamps or worker
+    counts."""
+    return build_manifest(
+        kind=kind,
+        name=run.spec.name,
+        spec=run.spec.to_dict(),
+        seeds=run.spec.seeds,
+        backend=run.backend,
+        opt_mode=run.opt_mode,
+        opt_window=run.opt_window,
+        extra=extra,
+    )
+
+
 def write_artifacts(
     run: ScenarioRun, out_dir: str = RESULTS_DIR
 ) -> Tuple[str, str, str]:
     """Write ``result.json``, ``result.csv`` and ``scenario.toml`` under
-    ``out_dir/<scenario name>/``; returns the three paths."""
+    ``out_dir/<scenario name>/``; returns the three paths.
+
+    Also drops a ``manifest.json`` provenance record into the directory
+    (a side effect, not one of the returned paths — the result-artifact
+    schema and this function's signature are unchanged)."""
     target = os.path.join(out_dir, run.spec.name)
     os.makedirs(target, exist_ok=True)
     json_path = os.path.join(target, "result.json")
@@ -283,4 +311,5 @@ def write_artifacts(
         fh.write(csv_table(run.metrics, columns=columns))
     with open(toml_path, "w", encoding="utf-8") as fh:
         fh.write(run.spec.to_toml())
+    write_manifest(target, build_run_manifest(run))
     return json_path, csv_path, toml_path

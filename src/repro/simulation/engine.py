@@ -92,6 +92,8 @@ def _dispatch_single(
     max_extra_slots: Optional[int],
     check_invariants: bool,
     trace_occupancy: bool,
+    metrics=None,
+    metrics_lane: int = 0,
 ) -> Optional[SimulationResult]:
     """Try the ``fast`` backend for a single run; return ``None`` when
     the caller should take the reference path instead."""
@@ -109,6 +111,8 @@ def _dispatch_single(
             max_extra_slots=max_extra_slots,
             check_invariants=check_invariants,
             trace_occupancy=trace_occupancy,
+            metrics=metrics,
+            metrics_lane=metrics_lane,
         )
     except (BackendUnavailable, BackendUnsupported):
         if backend == "fast":
@@ -125,6 +129,8 @@ def run_cioq(
     check_invariants: bool = False,
     trace_occupancy: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
+    metrics_lane: int = 0,
 ) -> SimulationResult:
     """Simulate ``policy`` on a CIOQ switch over ``trace``.
 
@@ -149,11 +155,16 @@ def run_cioq(
         :mod:`repro.simulation.backends`): ``reference`` (default),
         ``fast`` (vectorized numpy, bit-identical by contract), or
         ``auto`` (fast when possible, falling back to reference).
+    metrics:
+        Optional :class:`repro.obs.MetricsRecorder`; ``None`` (default)
+        and disabled recorders are payload- and performance-equivalent
+        to a metrics-free build (see :mod:`repro.obs`).
     """
     _check_dims(trace, config)
     fast = _dispatch_single(
         "cioq", policy, config, trace, backend,
         record, max_extra_slots, check_invariants, trace_occupancy,
+        metrics, metrics_lane,
     )
     if fast is not None:
         return fast
@@ -173,6 +184,8 @@ def run_cioq(
         recorder=LogRecorder(result) if record else NULL_RECORDER,
         check_invariants=check_invariants,
         trace_occupancy=trace_occupancy,
+        metrics=metrics,
+        metrics_lane=metrics_lane,
     )
 
 
@@ -183,6 +196,7 @@ def run_cioq_streaming(
     n_slots: int,
     record: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
 ) -> SimulationResult:
     """Like :func:`run_cioq` but with arrivals produced online by
     ``source(slot, switch)`` — used by adaptive adversaries that inspect
@@ -227,6 +241,7 @@ def run_cioq_streaming(
         result,
         crossbar=False,
         recorder=LogRecorder(result) if record else NULL_RECORDER,
+        metrics=metrics,
     )
 
 
@@ -243,6 +258,8 @@ def run_crossbar(
     check_invariants: bool = False,
     trace_occupancy: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
+    metrics_lane: int = 0,
 ) -> SimulationResult:
     """Simulate ``policy`` on a buffered crossbar switch over ``trace``.
 
@@ -256,6 +273,7 @@ def run_crossbar(
     fast = _dispatch_single(
         "crossbar", policy, config, trace, backend,
         record, max_extra_slots, check_invariants, trace_occupancy,
+        metrics, metrics_lane,
     )
     if fast is not None:
         return fast
@@ -275,6 +293,8 @@ def run_crossbar(
         recorder=LogRecorder(result) if record else NULL_RECORDER,
         check_invariants=check_invariants,
         trace_occupancy=trace_occupancy,
+        metrics=metrics,
+        metrics_lane=metrics_lane,
     )
 
 
@@ -285,6 +305,7 @@ def run_crossbar_streaming(
     n_slots: int,
     record: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
 ) -> SimulationResult:
     """Like :func:`run_crossbar` but with arrivals produced online by
     ``source(slot, switch)`` — the crossbar counterpart of
@@ -329,6 +350,7 @@ def run_crossbar_streaming(
         result,
         crossbar=True,
         recorder=LogRecorder(result) if record else NULL_RECORDER,
+        metrics=metrics,
     )
 
 
@@ -345,6 +367,7 @@ def _run_batch(
     max_extra_slots: Optional[int],
     trace_occupancy: bool,
     backend: str,
+    metrics=None,
 ) -> List[SimulationResult]:
     validate_backend(backend)
     traces = list(traces)
@@ -360,10 +383,13 @@ def _run_batch(
                 traces,
                 max_extra_slots=max_extra_slots,
                 trace_occupancy=trace_occupancy,
+                metrics=metrics,
             )
         except (BackendUnavailable, BackendUnsupported):
             if backend == "fast":
                 raise
+    # Reference fallback: lane-tag each trace's samples by batch index,
+    # matching the fast backend's lane numbering.
     return [
         single_runner(
             policy_factory(),
@@ -371,8 +397,10 @@ def _run_batch(
             trace,
             max_extra_slots=max_extra_slots,
             trace_occupancy=trace_occupancy,
+            metrics=metrics,
+            metrics_lane=i,
         )
-        for trace in traces
+        for i, trace in enumerate(traces)
     ]
 
 
@@ -384,6 +412,7 @@ def run_cioq_batch(
     max_extra_slots: Optional[int] = None,
     trace_occupancy: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
 ) -> List[SimulationResult]:
     """Run a fresh policy (one per trace, built by ``policy_factory``)
     over every trace, returning results in trace order.
@@ -396,7 +425,7 @@ def run_cioq_batch(
     """
     return _run_batch(
         "cioq", run_cioq, policy_factory, config, traces,
-        max_extra_slots, trace_occupancy, backend,
+        max_extra_slots, trace_occupancy, backend, metrics,
     )
 
 
@@ -408,9 +437,10 @@ def run_crossbar_batch(
     max_extra_slots: Optional[int] = None,
     trace_occupancy: bool = False,
     backend: str = DEFAULT_BACKEND,
+    metrics=None,
 ) -> List[SimulationResult]:
     """Crossbar counterpart of :func:`run_cioq_batch`."""
     return _run_batch(
         "crossbar", run_crossbar, policy_factory, config, traces,
-        max_extra_slots, trace_occupancy, backend,
+        max_extra_slots, trace_occupancy, backend, metrics,
     )

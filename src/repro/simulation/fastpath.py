@@ -36,6 +36,7 @@ classes outside :data:`SUPPORTED_POLICIES`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
@@ -273,7 +274,7 @@ class _Lane:
         "n_rejected", "value_rejected", "n_pre_voq", "v_pre_voq",
         "n_pre_cross", "v_pre_cross", "n_pre_out", "v_pre_out",
         "benefit", "n_sent", "sent_po", "val_po",
-        "rng", "grant_ptr", "accept_ptr",
+        "rng", "grant_ptr", "accept_ptr", "slots_exec",
     )
 
     def __init__(self, idx: int, slots, n_arr: int, horizon: int,
@@ -303,6 +304,7 @@ class _Lane:
         self.rng = None
         self.grant_ptr: List[int] = []
         self.accept_ptr: List[int] = []
+        self.slots_exec = 0
 
 
 # ---------------------------------------------------------------------------
@@ -909,7 +911,7 @@ SUPPORTED_POLICIES: Dict[Tuple[str, Type], Type[_Stepper]] = {
 class _BatchRun:
     def __init__(self, model: str, proto, config: SwitchConfig,
                  traces: Sequence[Trace], max_extra_slots: Optional[int],
-                 trace_occupancy: bool):
+                 trace_occupancy: bool, metrics=None, lane_base: int = 0):
         stepper_cls = SUPPORTED_POLICIES.get((model, type(proto)))
         if stepper_cls is None:
             raise BackendUnsupported(
@@ -977,6 +979,19 @@ class _BatchRun:
         self.pushout = self.stepper.arrival == "pushout"
         for lane in self.lanes:
             self.stepper.init_lane(lane)
+
+        # Metrics guard: resolved once per batch, never per slot (the
+        # same compiled-out contract as the reference kernel).
+        self.metrics = (metrics if metrics is not None and metrics.enabled
+                        else None)
+        self.lane_base = lane_base
+        self.m_every = self.metrics.every_k if self.metrics is not None else 0
+        self.m_timed = self.metrics is not None and self.metrics.timed
+        # Per-lane sample buffers, flushed lane-major after the run so
+        # the recorder's series is byte-identical to running the same
+        # traces serially through the reference kernel.
+        self._samples: Optional[List[List[tuple]]] = (
+            [[] for _ in range(S)] if self.m_every > 0 else None)
 
     # -- shared mask/bit helpers -------------------------------------------
 
@@ -1201,12 +1216,62 @@ class _BatchRun:
             s = lane.idx
             lane.result.occupancy.append((t, vt[s], ct[s], ot[s]))
 
+    def _sample_phase(self, t: int, sent_before: List[int]) -> None:
+        """Buffer one end-of-slot metrics sample per active lane.
+
+        Occupancy totals come from vectorized ``len`` reductions across
+        the whole batch (one numpy sum per queue family, not a Python
+        walk per lane), matching ``switch.occupancy_totals()`` exactly.
+        """
+        vt = self.voq.len.sum(axis=1).tolist()
+        ot = self.out.len.sum(axis=1).tolist()
+        ct = (self.cross.len.sum(axis=1).tolist() if self.crossbar
+              else [0] * self.S)
+        base = self.lane_base
+        samples = self._samples
+        for lane in self.active:
+            s = lane.idx
+            samples[s].append((
+                t, base + s, vt[s], ct[s], ot[s],
+                lane.n_sent - sent_before[s], lane.n_arrived, lane.n_sent,
+                lane.n_rejected,
+                lane.n_pre_voq + lane.n_pre_cross + lane.n_pre_out,
+            ))
+
+    def _flush_metrics(self, t_arrival: float, t_schedule: float,
+                       t_transmit: float, run0: float) -> None:
+        """Flush buffered samples (lane-major) and per-lane run counters
+        into the recorder, in the exact order serial reference runs over
+        the same traces would have produced them."""
+        m = self.metrics
+        if self._samples is not None:
+            slot_sample = m.slot_sample
+            for lane in self.lanes:
+                for samp in self._samples[lane.idx]:
+                    slot_sample(*samp)
+        for lane in self.lanes:
+            m.counter("runs_total")
+            m.counter("slots_total", lane.slots_exec)
+            m.counter("packets_arrived_total", lane.n_arrived)
+            m.counter("packets_sent_total", lane.n_sent)
+            m.counter("packets_rejected_total", lane.n_rejected)
+            m.counter("packets_preempted_total",
+                      lane.n_pre_voq + lane.n_pre_cross + lane.n_pre_out)
+            m.counter("benefit_total", lane.benefit)
+        if self.m_timed:
+            m.add_time("phase_arrival_seconds", t_arrival)
+            m.add_time("phase_schedule_seconds", t_schedule)
+            m.add_time("phase_transmit_seconds", t_transmit)
+            m.add_time("run_seconds", perf_counter() - run0)
+
     def _retire(self, t: int) -> None:
-        still = [
-            lane for lane in self.active
-            if not (lane.buffered == 0 and t >= lane.n_arr)
-            and t + 1 < lane.horizon
-        ]
+        still = []
+        for lane in self.active:
+            if (not (lane.buffered == 0 and t >= lane.n_arr)
+                    and t + 1 < lane.horizon):
+                still.append(lane)
+            else:
+                lane.slots_exec = t + 1
         if len(still) != len(self.active):
             self.active = still
             self.active_ids = [lane.idx for lane in still]
@@ -1260,17 +1325,43 @@ class _BatchRun:
         return res
 
     def run(self) -> List[SimulationResult]:
+        every = self.m_every
+        sampling = every > 0
+        timed = self.m_timed
+        t_arrival = t_schedule = t_transmit = 0.0
+        run0 = perf_counter() if timed else 0.0
+        sent_before: List[int] = []
         t = 0
         while self.active:
-            self._arrival_phase(t)
-            for cyc in range(self.speedup):
-                self.stepper.cycle(t, cyc)
-            self._transmit_phase(t)
+            sample_slot = sampling and t % every == 0
+            if sample_slot:
+                sent_before = [lane.n_sent for lane in self.lanes]
+            if timed:
+                ph0 = perf_counter()
+                self._arrival_phase(t)
+                ph1 = perf_counter()
+                t_arrival += ph1 - ph0
+                for cyc in range(self.speedup):
+                    self.stepper.cycle(t, cyc)
+                ph2 = perf_counter()
+                t_schedule += ph2 - ph1
+                self._transmit_phase(t)
+                t_transmit += perf_counter() - ph2
+            else:
+                self._arrival_phase(t)
+                for cyc in range(self.speedup):
+                    self.stepper.cycle(t, cyc)
+                self._transmit_phase(t)
             if self.trace_occupancy:
                 self._occupancy_phase(t)
+            if sample_slot:
+                self._sample_phase(t, sent_before)
             self._retire(t)
             t += 1
-        return [self._finalize(lane) for lane in self.lanes]
+        results = [self._finalize(lane) for lane in self.lanes]
+        if self.metrics is not None:
+            self._flush_metrics(t_arrival, t_schedule, t_transmit, run0)
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -1298,15 +1389,21 @@ def run_batch(
     max_extra_slots: Optional[int] = None,
     check_invariants: bool = False,
     trace_occupancy: bool = False,
+    metrics=None,
 ) -> List[SimulationResult]:
     """Run ``proto`` (a policy instance used read-only, as the parameter
     prototype) over every trace in lockstep; returns one
-    :class:`SimulationResult` per trace, in order."""
+    :class:`SimulationResult` per trace, in order.
+
+    With an active ``metrics`` recorder, per-slot samples are buffered
+    during the lockstep loop and flushed lane-major afterwards, so the
+    recorder ends up byte-identical to serial reference runs over the
+    same traces (lane ``i`` is tagged ``i``)."""
     _reject_unsupported(record, check_invariants)
     if not traces:
         return []
     return _BatchRun(model, proto, config, traces, max_extra_slots,
-                     trace_occupancy).run()
+                     trace_occupancy, metrics=metrics).run()
 
 
 def run_single(
@@ -1319,10 +1416,12 @@ def run_single(
     max_extra_slots: Optional[int] = None,
     check_invariants: bool = False,
     trace_occupancy: bool = False,
+    metrics=None,
+    metrics_lane: int = 0,
 ) -> SimulationResult:
     """Single-trace convenience wrapper around :func:`run_batch`."""
-    return run_batch(
-        model, policy, config, [trace],
-        record=record, max_extra_slots=max_extra_slots,
-        check_invariants=check_invariants, trace_occupancy=trace_occupancy,
-    )[0]
+    _reject_unsupported(record, check_invariants)
+    return _BatchRun(
+        model, policy, config, [trace], max_extra_slots,
+        trace_occupancy, metrics=metrics, lane_base=metrics_lane,
+    ).run()[0]

@@ -40,6 +40,7 @@ results to a verbatim snapshot of the seed engine.
 from __future__ import annotations
 
 from bisect import bisect_left
+from time import perf_counter
 from typing import Callable, Sequence
 
 from ..switch.cioq import ScheduleError
@@ -119,6 +120,8 @@ def run_slot_loop(
     recorder=NULL_RECORDER,
     check_invariants: bool = False,
     trace_occupancy: bool = False,
+    metrics=None,
+    metrics_lane: int = 0,
 ) -> SimulationResult:
     """Run the shared slot loop and fill ``result``.
 
@@ -137,11 +140,36 @@ def run_slot_loop(
     recorder:
         :data:`NULL_RECORDER` or a :class:`LogRecorder` bound to
         ``result``.
+    metrics:
+        Optional :class:`repro.obs.MetricsRecorder`.  The enabled guard
+        is evaluated **once here**, before the loop: with metrics off
+        (``None`` or a disabled recorder) the loop body pays only local
+        boolean short-circuits — no method calls, no allocation — so
+        payloads and performance are identical to a metrics-free build.
+        With metrics on, every ``every_k``-th slot emits one
+        ``slot_sample`` (queue occupancy, matching size, cumulative
+        arrival/drop/preemption counters) and run totals are flushed
+        after the loop; ``timed`` recorders additionally accumulate
+        per-phase wall-times (quarantined, non-deterministic).
+    metrics_lane:
+        Lane tag attached to every sample (batch runs tag each trace's
+        lane; single runs use 0).
     """
     config = switch.config
     voq = switch.voq
     speedup = config.speedup
     recording = recorder.enabled
+
+    # Metrics guard: resolved once per run, never per slot.
+    m = metrics if (metrics is not None and metrics.enabled) else None
+    every = m.every_k if m is not None else 0
+    sampling = every > 0
+    timed = m is not None and m.timed
+    slot_sample = m.slot_sample if sampling else None
+    t_arrival = t_schedule = t_transmit = 0.0
+    sent_before = 0
+    ph0 = 0.0
+    run0 = perf_counter() if timed else 0.0
 
     # Hot-path accounting: plain locals, flushed into `result` after the
     # loop.  `buffered` tracks accepted − sent − preempted, which equals
@@ -177,9 +205,15 @@ def run_slot_loop(
         schedule = policy.schedule
         apply_transfers = switch.apply_transfers
 
+    t = -1  # keeps the post-loop metrics flush safe when horizon == 0
     for t in range(horizon):
+        sample_slot = sampling and t % every == 0
+        if sample_slot:
+            sent_before = n_sent
         # -- arrival phase (events processed in arrival order) ----------
         if t < n_arrival_slots:
+            if timed:
+                ph0 = perf_counter()
             for p in arrivals_for(t):
                 pv = p.value
                 n_arrived += 1
@@ -217,10 +251,14 @@ def run_slot_loop(
                 n_accepted += 1
                 value_accepted += pv
                 buffered += 1
+            if timed:
+                t_arrival += perf_counter() - ph0
             if check_invariants:
                 switch.check_invariants()
 
         # -- scheduling phase: `speedup` admissible cycles ---------------
+        if timed:
+            ph0 = perf_counter()
         if crossbar:
             for s in range(speedup):
                 transfers = input_subphase(switch, t, s)
@@ -265,8 +303,12 @@ def run_slot_loop(
                     apply_transfers(transfers)
                 if check_invariants:
                     switch.check_invariants()
+        if timed:
+            t_schedule += perf_counter() - ph0
 
         # -- transmission phase (validated inside switch.transmit) -------
+        if timed:
+            ph0 = perf_counter()
         selections = select_transmissions(switch)
         if selections:
             for p in transmit(selections):
@@ -279,10 +321,17 @@ def run_slot_loop(
                 value_per_output[j] += pv
                 if recording:
                     recorder.sent(t, j, p)
+        if timed:
+            t_transmit += perf_counter() - ph0
         if check_invariants:
             switch.check_invariants()
         if trace_occupancy:
             result.occupancy.append((t,) + switch.occupancy_totals())
+        if sample_slot:
+            occ = switch.occupancy_totals()
+            slot_sample(t, metrics_lane, occ[0], occ[1], occ[2],
+                        n_sent - sent_before, n_arrived, n_sent,
+                        n_rejected, n_pre_voq + n_pre_cross + n_pre_out)
 
         if buffered == 0 and t >= n_arrival_slots:
             break
@@ -313,4 +362,20 @@ def run_slot_loop(
     result.n_residual = len(residual)
     result.value_residual = sum(p.value for p in residual)
     result.check_conservation()
+
+    # -- metrics flush (run-level counters, once per run) ----------------
+    if m is not None:
+        m.counter("runs_total")
+        m.counter("slots_total", t + 1)
+        m.counter("packets_arrived_total", n_arrived)
+        m.counter("packets_sent_total", n_sent)
+        m.counter("packets_rejected_total", n_rejected)
+        m.counter("packets_preempted_total",
+                  n_pre_voq + n_pre_cross + n_pre_out)
+        m.counter("benefit_total", benefit)
+        if timed:
+            m.add_time("phase_arrival_seconds", t_arrival)
+            m.add_time("phase_schedule_seconds", t_schedule)
+            m.add_time("phase_transmit_seconds", t_transmit)
+            m.add_time("run_seconds", perf_counter() - run0)
     return result

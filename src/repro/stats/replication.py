@@ -28,9 +28,11 @@ from typing import Dict, List, Optional, Tuple
 from .._version import __version__
 from ..analysis.ratio import ratio_of
 from ..analysis.report import csv_table, format_summary_table
+from ..obs import write_manifest
 from ..parallel import SweepExecutor
 from ..scenarios.runner import (
     ScenarioRun,
+    build_run_manifest,
     compute_aggregates,
     run_scenario,
     write_artifacts,
@@ -262,6 +264,7 @@ def replicate_scenario(
         metrics=metrics,
         opt_mode=opt_mode,
         opt_window=opt_window,
+        backend=ex.backend,
     )
     series = collect_series(rows, metrics, labels, spec.metrics,
                             spec.include_opt)
@@ -293,9 +296,18 @@ def write_replicated_artifacts(
     (:data:`SUMMARY_COLUMNS` rows).  Returns all five paths.  Like
     every artifact in the repo, the files carry no timestamps and
     reproduce byte-for-byte.
+
+    The directory's ``manifest.json`` (written by ``write_artifacts``)
+    is rewritten with ``kind="replication"`` and the resolved plan so
+    provenance records how the seeds were chosen.
     """
     paths = write_artifacts(rrun.run, out_dir)
     target = os.path.join(out_dir, rrun.spec.name)
+    write_manifest(target, build_run_manifest(
+        rrun.run, kind="replication",
+        extra={"plan": rrun.plan.as_dict(),
+               "stopped_early": rrun.stopped_early},
+    ))
     summary_json = os.path.join(target, "summary.json")
     summary_csv = os.path.join(target, "summary.csv")
     with open(summary_json, "w", encoding="utf-8") as fh:

@@ -68,6 +68,11 @@ class CIOQSwitch:
         self.out: List[BoundedQueue] = [
             BoundedQueue(config.b_out) for _ in range(config.n_out)
         ]
+        # Flattened item-deque views, cached once: occupancy_totals()
+        # runs every slot when the occupancy trace or per-slot metric
+        # sampling is on, so it must not rebuild the grid walk.
+        self._voq_items = [q._items for row in self.voq for q in row]
+        self._out_items = [q._items for q in self.out]
 
     # -- inspection ---------------------------------------------------------
 
@@ -108,9 +113,7 @@ class CIOQSwitch:
         column is always 0 (see the ``occupancy`` schema documented in
         :class:`~repro.simulation.results.SimulationResult`).
         """
-        voq_total = sum(len(q._items) for row in self.voq for q in row)
-        out_total = sum(len(q._items) for q in self.out)
-        return voq_total, 0, out_total
+        return sum(map(len, self._voq_items)), 0, sum(map(len, self._out_items))
 
     # -- phase actions ------------------------------------------------------
 

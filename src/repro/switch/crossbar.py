@@ -80,6 +80,12 @@ class CrossbarSwitch:
         self.out: List[BoundedQueue] = [
             BoundedQueue(config.b_out) for _ in range(config.n_out)
         ]
+        # Flattened item-deque views, cached once: occupancy_totals()
+        # runs every slot when the occupancy trace or per-slot metric
+        # sampling is on, so it must not rebuild the grid walk.
+        self._voq_items = [q._items for row in self.voq for q in row]
+        self._cross_items = [q._items for row in self.cross for q in row]
+        self._out_items = [q._items for q in self.out]
 
     # -- inspection ---------------------------------------------------------
 
@@ -121,10 +127,9 @@ class CrossbarSwitch:
         """End-of-slot totals ``(voq, cross, out)`` for the occupancy trace
         (see the ``occupancy`` schema documented in
         :class:`~repro.simulation.results.SimulationResult`)."""
-        voq_total = sum(len(q._items) for row in self.voq for q in row)
-        cross_total = sum(len(q._items) for row in self.cross for q in row)
-        out_total = sum(len(q._items) for q in self.out)
-        return voq_total, cross_total, out_total
+        return (sum(map(len, self._voq_items)),
+                sum(map(len, self._cross_items)),
+                sum(map(len, self._out_items)))
 
     # -- phase actions ------------------------------------------------------
 

@@ -361,6 +361,77 @@ def test_replicated_artifacts_byte_identical(tmp_path):
     assert {r["policy"] for r in summary["summary"]} == {"gm", "pg"}
 
 
+# ---------------------------------------------------------------------------
+# Satellite: metrics recorders never perturb payloads (PR 9)
+# ---------------------------------------------------------------------------
+
+class TestMetricsNeutrality:
+    """The observability layer rides along the backend contract: running
+    with no recorder, with :data:`NULL_METRICS`, and with an active
+    :class:`InMemoryRecorder` must all produce exact-equal payloads on
+    both backends — and the recorder snapshots themselves must be
+    byte-identical between the backends."""
+
+    def _modes(self):
+        from repro.obs import NULL_METRICS, InMemoryRecorder
+
+        return [
+            ("none", lambda: None),
+            ("null", lambda: NULL_METRICS),
+            ("active", lambda: InMemoryRecorder(every_k=1)),
+            ("sampled", lambda: InMemoryRecorder(every_k=3)),
+        ]
+
+    @pytest.mark.parametrize("model", ["cioq", "crossbar"])
+    def test_recorder_modes_identical_payloads(self, model):
+        config = SwitchConfig.square(4, speedup=2, b_in=3, b_out=3,
+                                     b_cross=1)
+        tm = BernoulliTraffic(4, 4, load=1.4,
+                              value_model=uniform_values(1, 9))
+        traces = [tm.generate(15, seed=s) for s in range(3)]
+        if model == "cioq":
+            serial, batched, factory = run_cioq, run_cioq_batch, GMPolicy
+        else:
+            serial, batched, factory = (run_crossbar, run_crossbar_batch,
+                                        CGUPolicy)
+        base = [serial(factory(), config, tr) for tr in traces]
+        for mode, make in self._modes():
+            ref = [serial(factory(), config, tr, metrics=make())
+                   for tr in traces]
+            fast = batched(factory, config, traces, backend="fast",
+                           metrics=make())
+            for k, (b, r, f) in enumerate(zip(base, ref, fast)):
+                assert_payloads_identical(
+                    b, r, label=f"(metrics={mode}, ref lane {k})")
+                assert_payloads_identical(
+                    b, f, label=f"(metrics={mode}, fast lane {k})")
+
+    @pytest.mark.parametrize("every_k", [1, 4])
+    def test_recorder_snapshots_backend_identical(self, every_k):
+        """One shared recorder across a seed ladder: a serial reference
+        batch and one lockstep fast batch must leave the recorder in a
+        byte-identical state (counters, gauges, histograms, series)."""
+        import json as _json
+
+        from repro.obs import InMemoryRecorder
+
+        config = SwitchConfig.square(4, speedup=2, b_in=3, b_out=3,
+                                     b_cross=1)
+        tm = BernoulliTraffic(4, 4, load=1.4,
+                              value_model=uniform_values(1, 9))
+        traces = [tm.generate(10 + 4 * k, seed=k) for k in range(3)]
+        ref_rec = InMemoryRecorder(every_k=every_k)
+        run_cioq_batch(GMPolicy, config, traces, backend="reference",
+                       metrics=ref_rec)
+        fast_rec = InMemoryRecorder(every_k=every_k)
+        run_cioq_batch(GMPolicy, config, traces, backend="fast",
+                       metrics=fast_rec)
+        ref_snap = ref_rec.snapshot()
+        fast_snap = fast_rec.snapshot()
+        assert _json.dumps(ref_snap, sort_keys=True) == _json.dumps(
+            fast_snap, sort_keys=True)
+
+
 def test_executor_cache_is_backend_agnostic(tmp_path):
     """Payloads cached by a fast-backend executor are served verbatim to
     a reference executor (and vice versa): the cache key deliberately

@@ -143,13 +143,15 @@ class TestDocsConsistency:
         verbs = subcommands(parser)
         scenario_verbs = subcommands(verbs["scenarios"])
         stats_verbs = subcommands(verbs["stats"])
+        obs_verbs = subcommands(verbs["obs"])
 
         docs = "".join(
             p.read_text()
             for p in (ROOT / "README.md", ROOT / "EXPERIMENTS.md",
                       ROOT / "docs" / "scenarios.md",
                       ROOT / "docs" / "traffic_models.md",
-                      ROOT / "docs" / "statistics.md")
+                      ROOT / "docs" / "statistics.md",
+                      ROOT / "docs" / "observability.md")
         )
         for verb in set(re.findall(r"python -m repro\.cli (\w+)", docs)):
             assert verb in verbs, f"docs reference unknown CLI verb {verb!r}"
@@ -160,6 +162,10 @@ class TestDocsConsistency:
         for sub in set(re.findall(r"repro(?:\.cli)? stats (\w+)", docs)):
             assert sub in stats_verbs, (
                 f"docs reference unknown `stats` subcommand {sub!r}"
+            )
+        for sub in set(re.findall(r"repro(?:\.cli)? obs (\w+)", docs)):
+            assert sub in obs_verbs, (
+                f"docs reference unknown `obs` subcommand {sub!r}"
             )
 
     def test_statistics_docs_match_code(self):
@@ -349,6 +355,75 @@ class TestDocsConsistency:
         assert floors and max(floors) >= 10.0, (
             f"certified speedup floor regressed: {floors}"
         )
+
+    def test_metric_catalog_matches_docs(self):
+        """Every metric in ``repro.obs.METRIC_CATALOG`` has a
+        `### <name>` section in docs/observability.md and vice versa —
+        the metric reference and the catalog cannot drift apart
+        (mirrors the scenario/backend/OPT catalog tests)."""
+        import re
+
+        from repro.obs import METRIC_CATALOG
+
+        text = (ROOT / "docs" / "observability.md").read_text()
+        documented = set(re.findall(r"^### ([a-z0-9_-]+)\s*$", text,
+                                    flags=re.MULTILINE))
+        registered = set(METRIC_CATALOG)
+        assert registered - documented == set(), (
+            f"metrics missing from docs/observability.md: "
+            f"{sorted(registered - documented)}"
+        )
+        assert documented - registered == set(), (
+            f"docs/observability.md documents uncatalogued metrics: "
+            f"{sorted(documented - registered)}"
+        )
+
+    def test_bench_obs_snapshot_committed_and_sane(self):
+        """BENCH_obs.json (written by benchmarks/bench_obs.py) must be
+        committed, canonical in form, cover gm/cgu on both backends,
+        respect the overhead budgets (off <= 5%, on <= 25%), and attest
+        that no recorder mode perturbed a payload field."""
+        import json
+
+        path = ROOT / "BENCH_obs.json"
+        assert path.exists(), (
+            "BENCH_obs.json is missing; regenerate with "
+            "`python benchmarks/bench_obs.py`"
+        )
+        raw = path.read_text()
+        snapshot = json.loads(raw)
+        canonical = json.dumps(snapshot, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n"
+        assert raw == canonical, (
+            "BENCH_obs.json is not in canonical form "
+            "(indent=2, sort_keys, trailing newline)"
+        )
+        assert snapshot["schema"] == 1
+        budgets = snapshot["budgets"]
+        assert budgets == {"off_overhead_pct": 5.0, "on_overhead_pct": 25.0}
+        rows = snapshot["rows"]
+        for row in rows:
+            assert set(row) == {
+                "policy", "model", "backend", "n_ports", "batch",
+                "arrival_slots", "base_slots_per_sec",
+                "off_overhead_pct", "on_overhead_pct",
+                "payloads_identical",
+            }
+            assert row["payloads_identical"] is True
+            assert row["off_overhead_pct"] <= budgets["off_overhead_pct"], (
+                f"{row['policy']}/{row['backend']}: committed off "
+                f"overhead {row['off_overhead_pct']}% exceeds budget"
+            )
+            assert row["on_overhead_pct"] <= budgets["on_overhead_pct"], (
+                f"{row['policy']}/{row['backend']}: committed on "
+                f"overhead {row['on_overhead_pct']}% exceeds budget"
+            )
+        cells = {(r["policy"], r["backend"]) for r in rows}
+        for policy in ("gm", "cgu"):
+            for backend in ("reference", "fast"):
+                assert (policy, backend) in cells, (
+                    f"missing obs bench cell {policy}/{backend}"
+                )
 
     def test_paper_mapping_module_references_resolve(self):
         """Every `repro.x.y` dotted path in docs/paper_mapping.md must

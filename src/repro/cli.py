@@ -36,6 +36,14 @@ Commands
     ``--metrics-out DIR`` flags that collect deterministic run metrics
     (identical bytes for any worker count) plus a quarantined wall-time
     ledger.
+``submit`` / ``serve`` / ``farm``
+    The experiment farm (see docs/parallel.md): ``submit`` enqueues
+    scenario jobs on a file-based queue, ``serve`` drains the queue
+    through one persistent worker pool and shared content-addressed
+    result store (killed servers requeue and resume incrementally —
+    artifacts stay byte-identical to a fresh serial run), and ``farm
+    status`` / ``farm gc`` inspect the queue and reclaim stale store
+    files.
 ``constants``
     Print the paper's analytical constants with numerical verification.
 
@@ -731,6 +739,109 @@ def cmd_obs_tail(args) -> int:
     return 0
 
 
+def cmd_submit(args) -> int:
+    """Enqueue scenario jobs for a running (or future) farm server."""
+    from .farm import JobQueue, build_job
+
+    queue = JobQueue(args.queue)
+    seeds = None
+    if args.seeds is not None:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    for name in args.scenarios:
+        try:
+            job = build_job(scenario=name, slots=args.slots, seeds=seeds,
+                            replicates=args.replicates,
+                            opt_mode=args.opt_mode,
+                            opt_window=args.opt_window)
+        except ValueError as exc:
+            raise SystemExit(f"bad job: {exc}") from None
+        job_id = queue.submit(job)
+        print(f"submitted {job_id}: {name}")
+    print(f"queue depth: {queue.depth()} ({args.queue})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the experiment-farm serve loop until the queue drains."""
+    from .farm import serve
+    from .parallel import SweepKilled
+
+    metrics_every = _resolve_metrics_every(args)
+    recorder = None
+    if metrics_every is not None:
+        from .obs import InMemoryRecorder
+
+        recorder = InMemoryRecorder(every_k=metrics_every, timed=True)
+
+    def progress(line: str) -> None:
+        print(f"# {line}", file=sys.stderr)
+
+    try:
+        summary = serve(
+            args.queue,
+            out_dir=args.out,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            backend=args.backend,
+            max_jobs=args.max_jobs,
+            idle_timeout=args.idle_timeout,
+            metrics=recorder,
+            progress=progress,
+        )
+    except SweepKilled as exc:
+        # Fault injection: exit distinctly; the killed job stays in
+        # running/ and the next server requeues it.
+        print(f"killed: {exc}", file=sys.stderr)
+        return 3
+    print(f"served {summary['served']} job(s), "
+          f"{summary['failed']} failed; store: "
+          f"{summary['store_hits']} hits, "
+          f"{summary['store_misses']} executed")
+    if recorder is not None:
+        total = sum(t["elapsed"] for t in summary["timings"])
+        _emit_metrics(args.metrics_out, recorder.snapshot(),
+                      recorder.walltimes(),
+                      extra={"points": summary["timings"],
+                             "worker_busy_seconds": total})
+    return 0 if summary["failed"] == 0 else 1
+
+
+def cmd_farm_status(args) -> int:
+    """Print queue counts, per-job state, and store statistics."""
+    from .farm import farm_status
+
+    status = farm_status(args.queue, cache_dir=args.cache_dir)
+    counts = status["counts"]
+    print(format_table(
+        [{"state": state, "jobs": n} for state, n in counts.items()],
+        title=f"farm queue ({args.queue})",
+    ))
+    if status["jobs"]:
+        print(format_table(status["jobs"], title="jobs"))
+    store = status.get("store")
+    if store is not None:
+        print(format_table(
+            [{"measure": k, "value": v} for k, v in store.items()],
+            title=f"result store ({args.cache_dir})",
+        ))
+    return 0
+
+
+def cmd_farm_gc(args) -> int:
+    """Garbage-collect the result store (stale versions, torn files,
+    dead claims)."""
+    from .farm import ResultStore
+    from .parallel import CACHE_VERSION
+
+    store = ResultStore(args.cache_dir, CACHE_VERSION)
+    removed = store.gc(include_legacy=args.include_legacy)
+    print(format_table(
+        [{"bucket": k, "files": v} for k, v in removed.items()],
+        title=f"store gc ({args.cache_dir})",
+    ))
+    return 0
+
+
 def cmd_constants(args) -> int:
     from .theory.ratios import verify_paper_constants
 
@@ -1020,6 +1131,76 @@ def build_parser() -> argparse.ArgumentParser:
                                  "sample"),
                         help="only events of this type")
     o_tail.set_defaults(func=cmd_obs_tail)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="enqueue scenario jobs for the experiment farm",
+        description="Enqueue one job per named scenario on a farm job "
+                    "queue (see docs/parallel.md); a repro serve loop "
+                    "pointed at the same --queue executes them.",
+    )
+    p_submit.add_argument("scenarios", nargs="+",
+                          help="registered scenario name(s)")
+    p_submit.add_argument("--queue", default="farm",
+                          help="job-queue root directory (default: farm)")
+    p_submit.add_argument("--slots", type=int, default=None,
+                          help="override the spec's horizon")
+    p_submit.add_argument("--seeds", default=None,
+                          help="comma-separated seed list override")
+    p_submit.add_argument("--replicates", type=int, default=None,
+                          metavar="N", help="replicate across N seeds")
+    _add_opt_mode(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment-farm serve loop",
+        description="Drain a farm job queue through one persistent "
+                    "worker pool and shared result store; killed "
+                    "servers resume incrementally (docs/parallel.md).",
+    )
+    p_serve.add_argument("--queue", default="farm",
+                         help="job-queue root directory (default: farm)")
+    p_serve.add_argument("--out", default="results",
+                         help="artifact directory (default: results)")
+    p_serve.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="result-store root shared across jobs "
+                              "(enables incremental resume)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker processes (persistent pool; "
+                              "<=1 runs in-process)")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         dest="max_jobs",
+                         help="stop after this many jobs (default: "
+                              "serve until idle/forever)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         dest="idle_timeout", metavar="SECONDS",
+                         help="exit after the queue stays empty this "
+                              "long (default: wait forever)")
+    _add_backend(p_serve)
+    _add_metrics(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_farm = sub.add_parser(
+        "farm",
+        help="experiment-farm introspection and maintenance",
+    )
+    farm_sub = p_farm.add_subparsers(dest="farm_cmd", required=True)
+    f_status = farm_sub.add_parser(
+        "status", help="queue counts, job states, store statistics")
+    f_status.add_argument("--queue", default="farm",
+                          help="job-queue root directory (default: farm)")
+    f_status.add_argument("--cache-dir", default=None, dest="cache_dir",
+                          help="also report result-store statistics")
+    f_status.set_defaults(func=cmd_farm_status)
+    f_gc = farm_sub.add_parser(
+        "gc", help="reclaim stale/torn store files and dead claims")
+    f_gc.add_argument("--cache-dir", required=True, dest="cache_dir",
+                      help="result-store root to collect")
+    f_gc.add_argument("--include-legacy", action="store_true",
+                      dest="include_legacy",
+                      help="also remove pre-farm flat cache entries")
+    f_gc.set_defaults(func=cmd_farm_gc)
 
     p_const = sub.add_parser("constants", help="verify paper constants")
     p_const.set_defaults(func=cmd_constants)

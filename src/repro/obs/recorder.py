@@ -67,6 +67,12 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "cache_hits_total": ("counter", "sweep-cache payload hits"),
     "cache_misses_total": ("counter", "sweep-cache payload misses"),
     "sweep_points_total": ("gauge", "points in the current sweep"),
+    "farm_queue_depth": ("gauge", "jobs waiting in the farm queue"),
+    "farm_workers": ("gauge", "worker processes serving the farm"),
+    "farm_jobs_total": ("counter", "farm jobs completed"),
+    "farm_jobs_failed_total": ("counter", "farm jobs failed"),
+    "farm_points_executed_total": ("counter",
+                                   "sweep points executed by farm jobs"),
     "queue_occupancy": ("series", "per-slot VOQ/crosspoint/output totals"),
     "matching_size": ("series", "packets transmitted in the sampled slot"),
     "phase_arrival_seconds": ("timer", "wall time in the arrival phase"),
@@ -74,6 +80,8 @@ METRIC_CATALOG: Dict[str, tuple] = {
     "phase_transmit_seconds": ("timer", "wall time in the transmission phase"),
     "run_seconds": ("timer", "wall time of one engine run"),
     "point_seconds": ("timer", "wall time of one sweep point"),
+    "worker_busy_seconds": ("timer",
+                            "cumulative worker wall time across farm jobs"),
 }
 
 #: Keys of one per-slot series sample, in emission order.

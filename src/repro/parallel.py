@@ -13,19 +13,31 @@ the fan-out substrate:
 * :func:`run_sweep_point` — executes one point and returns a plain,
   JSON-serializable payload dict (the fields sweep tables consume).
 * :class:`SweepExecutor` — maps points over a ``multiprocessing`` pool
-  with chunked dispatch, optionally backed by an on-disk cache keyed by
-  (policy spec, config, trace content, seed).  With ``workers <= 1``
-  everything runs in-process.
+  with chunked dispatch, optionally backed by the content-addressed
+  :class:`~repro.farm.store.ResultStore` keyed by (policy spec, config,
+  trace content, seed).  With ``workers <= 1`` everything runs
+  in-process.
+
+Sweeps are *incremental*: :meth:`SweepExecutor.run` partitions its
+points into store hits and missing keys, executes only the missing
+ones, and publishes each payload the moment it completes (write-through
+— not after the pool drains), so a killed study re-run against the same
+store resumes from exactly where it died.  Claim files make concurrent
+executors sharing one store cooperate instead of duplicating work, and
+completions stream back ``imap_unordered`` (results are re-assembled in
+point order, so unordered scheduling never shows in an artifact).
 
 Determinism: a point's payload depends only on the point, every point
 carries its own seed-derived trace, and results are returned in point
 order regardless of worker scheduling — so a sweep produces bit-identical
-tables for any worker count (the ``repro sweep`` CLI exposes exactly
-this guarantee).
+tables for any worker count, cold or resumed (the ``repro sweep`` CLI
+and the farm CI smoke expose exactly this guarantee).
 
 Used by :mod:`repro.analysis.sweep`, the ``bench_t*.py`` experiment
-drivers (via ``benchmarks/conftest.py``), and the ``repro sweep`` CLI
-command.
+drivers (via ``benchmarks/conftest.py``), the scenario/replication
+runners, the experiment farm (:mod:`repro.farm`) and the ``repro
+sweep`` CLI command.  See ``docs/parallel.md`` for the cache key
+schema, store layout and determinism contract.
 """
 
 from __future__ import annotations
@@ -33,14 +45,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from functools import partial
 from multiprocessing import get_context
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from time import perf_counter
 
+from .farm.store import ResultStore
 from .obs import InMemoryRecorder, merge_snapshots
 from .offline.opt import OPT_MODES, cioq_opt, crossbar_opt
 from .simulation.backends import DEFAULT_BACKEND, validate_backend
@@ -54,9 +66,41 @@ from .switch.config import SwitchConfig
 from .traffic.trace import Trace
 
 #: Bump when the payload schema changes; part of every cache key.
-CACHE_VERSION = 3
+#: v4: the trace term switched from ``sha256(to_json())`` to the binary
+#: :meth:`Trace.content_digest` packing, re-keying every entry.
+CACHE_VERSION = 4
+
+#: Fault-injection hook: when set to ``N`` (>= 1), :meth:`SweepExecutor
+#: .run` raises :class:`SweepKilled` after publishing its N-th executed
+#: point — simulating a study killed mid-sweep with N results durably in
+#: the store.  Cache hits don't count; only executed points do.
+KILL_AFTER_ENV = "REPRO_FARM_KILL_AFTER"
+
+#: Test hook: when set to a file path, every executed-and-published
+#: point appends its cache key (one line, ``O_APPEND``) — the
+#: exactly-once ledger the concurrent-writer tests diff.
+EXEC_LOG_ENV = "REPRO_FARM_EXEC_LOG"
 
 PolicyFactory = Callable[[], object]
+
+
+class SweepKilled(RuntimeError):
+    """A sweep died mid-run via the :data:`KILL_AFTER_ENV` fault hook.
+
+    Everything published before the kill is durably in the result
+    store; re-running the same sweep resumes from those entries."""
+
+
+def _exec_log(key: str) -> None:
+    """Append ``key`` to the exactly-once execution ledger, if enabled."""
+    path = os.environ.get(EXEC_LOG_ENV)
+    if not path:
+        return
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (key + "\n").encode("utf-8"))
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -197,15 +241,34 @@ def run_sweep_point(
     return _policy_payload(res, point)
 
 
-def _run_point_timed(point: SweepPoint, backend: str = DEFAULT_BACKEND,
-                     metrics_every: Optional[int] = None) -> tuple:
-    """Pool wrapper: execute one point and report ``(pid, elapsed,
-    payload)`` so the parent can fill its timing ledger and emit
-    worker heartbeats (module-level so it pickles)."""
+def _run_task(task: tuple, backend: str = DEFAULT_BACKEND,
+              metrics_every: Optional[int] = None) -> tuple:
+    """Execute one scheduled task; module-level so it pickles.
+
+    A task is ``(kind, [(index, point), ...])``: ``"batch"`` items share
+    (model, config, policy spec) and execute in lockstep through the
+    batched engine entry points (the vectorized kernel); ``"single"``
+    items run point-by-point (OPT solves, instrumented points, reference
+    backend).  Returns ``(pid, elapsed, indices, payloads)`` so the
+    parent can publish results, fill its timing ledger and emit worker
+    heartbeats.
+    """
+    kind, items = task
     t0 = perf_counter()
-    payload = run_sweep_point(point, backend=backend,
-                              metrics_every=metrics_every)
-    return os.getpid(), perf_counter() - t0, payload
+    if kind == "batch":
+        first = items[0][1]
+        runner = (run_cioq_batch if first.model == "cioq"
+                  else run_crossbar_batch)
+        batch = runner(first.policy_factory, first.config,
+                       [p.trace for _, p in items], backend=backend)
+        payloads = [_policy_payload(res, p)
+                    for (_, p), res in zip(items, batch)]
+    else:
+        payloads = [run_sweep_point(p, backend=backend,
+                                    metrics_every=metrics_every)
+                    for _, p in items]
+    return (os.getpid(), perf_counter() - t0,
+            [idx for idx, _ in items], payloads)
 
 
 class SweepExecutor:
@@ -218,23 +281,34 @@ class SweepExecutor:
         1`` fans uncached points out over a ``multiprocessing`` pool in
         deterministic chunks.
     cache_dir:
-        Directory for the on-disk payload cache (created on demand).
-        ``None`` disables caching.  Keys cover the policy spec, the
-        switch config, the full trace content, the point seed and
-        :data:`CACHE_VERSION`, so any input change misses cleanly.
+        Root of the content-addressed result store
+        (:class:`~repro.farm.store.ResultStore`; directories created on
+        demand).  ``None`` disables caching.  Keys cover the policy
+        spec, the switch config, the full trace content, the point seed
+        and :data:`CACHE_VERSION`, so any input change misses cleanly.
+        :meth:`run` is *incremental* against the store: hits are
+        returned without executing, missing points publish write-through
+        as each completes, and points claimed by another live executor
+        are awaited instead of duplicated.
     chunk_size:
-        Tasks per pool chunk; default ``ceil(pending / (4 * workers))``.
+        Tasks per pool chunk; default ``ceil(tasks / (4 * workers))``.
     backend:
         Slot-loop execution backend for policy points (see
         :mod:`repro.simulation.backends`).  With ``"fast"`` or
         ``"auto"``, uncached policy points are grouped by (model,
-        config, policy spec) and executed in lockstep through the
-        batched engine entry points *before* any process pool runs —
-        the vectorized kernel is the parallelism; only leftover points
-        (exact-OPT solves) fan out over workers.  The backend is
-        deliberately **not** part of the cache key: backends are
+        config, policy spec) into lockstep batch tasks for the
+        vectorized engine entry points; with ``workers > 1`` each group
+        splits into per-worker slices so batches and leftover points
+        (exact-OPT solves) fan out over the pool together.  The backend
+        is deliberately **not** part of the cache key: backends are
         bit-identical by contract, so cached payloads are
         interchangeable.
+    pool:
+        Optional :class:`~repro.farm.pool.PersistentPool` reused across
+        every :meth:`run` call (the farm serve loop passes one), paying
+        worker spawn cost once per pool instead of once per call.
+        ``None`` with ``workers > 1`` spawns an ephemeral pool per call,
+        matching the pre-farm behavior.
     metrics_every:
         When set, every point runs instrumented (see
         :func:`run_sweep_point`) and embeds a deterministic ``"obs"``
@@ -265,6 +339,7 @@ class SweepExecutor:
         backend: str = DEFAULT_BACKEND,
         metrics_every: Optional[int] = None,
         progress: Optional[Callable[[Dict[str, object]], None]] = None,
+        pool=None,
     ):
         validate_backend(backend)
         if metrics_every is not None and metrics_every < 0:
@@ -273,10 +348,15 @@ class SweepExecutor:
             )
         self.workers = int(workers or 0)
         self.cache_dir = cache_dir
+        self.store: Optional[ResultStore] = (
+            ResultStore(cache_dir, CACHE_VERSION)
+            if cache_dir is not None else None
+        )
         self.chunk_size = chunk_size
         self.backend = backend
         self.metrics_every = metrics_every
         self.progress = progress
+        self.pool = pool
         self.cache_hits = 0
         self.cache_misses = 0
         self.timings: List[Dict[str, object]] = []
@@ -320,9 +400,7 @@ class SweepExecutor:
             "model": point.model,
             "config": [c.n_in, c.n_out, c.speedup, c.b_in, c.b_out, c.b_cross],
             "policy": describe_factory(point.policy_factory),
-            "trace": hashlib.sha256(
-                point.trace.to_json().encode("utf-8")
-            ).hexdigest(),
+            "trace": point.trace.content_digest(),
             "seed": point.seed,
             "opt": [point.opt_mode, point.opt_window],
         }
@@ -335,148 +413,195 @@ class SweepExecutor:
         return hashlib.sha256(blob).hexdigest()
 
     def _cache_path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.json")
+        """Sharded store path a new entry for ``key`` lands on."""
+        return self.store.path(key)
 
     def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
-        path = self._cache_path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, ValueError):
-            return None
+        return self.store.get(key)
 
     def _cache_put(self, key: str, payload: Dict[str, object]) -> None:
-        os.makedirs(self.cache_dir, exist_ok=True)
-        path = self._cache_path(key)
-        # Atomic publish so concurrent sweeps never read torn files.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.store.put(key, payload)
 
     # -- execution -----------------------------------------------------------
 
     def run(self, points: Sequence[SweepPoint]) -> List[Dict[str, object]]:
-        """Execute ``points``; returns payloads in point order."""
+        """Execute ``points``; returns payloads in point order.
+
+        Incremental: with a store attached, hits return without
+        executing, missing points publish write-through as each
+        completes (a killed run leaves everything it finished durably
+        cached), and points claimed by another live executor are awaited
+        rather than duplicated.  The payload list is assembled by point
+        index, so the result is byte-identical regardless of worker
+        count, cache state, or how many restarts the sweep took.
+        """
         results: List[Optional[Dict[str, object]]] = [None] * len(points)
-        caching = self.cache_dir is not None
+        caching = self.store is not None
         # Keys are hashed once per point (they serialize the full trace).
         keys = [self.cache_key(p) for p in points] if caching else None
         pending: List[int] = []
+        waiting: List[int] = []
         for idx in range(len(points)):
-            hit = self._cache_get(keys[idx]) if caching else None
-            if hit is not None:
-                self.cache_hits += 1
-                results[idx] = hit
-            else:
-                pending.append(idx)
+            if caching:
+                hit = self.store.get(keys[idx])
+                if hit is not None:
+                    self.cache_hits += 1
+                    results[idx] = hit
+                    continue
+                if not self.store.claim(keys[idx]):
+                    # A live executor elsewhere is computing this exact
+                    # point; await its publish instead of duplicating.
+                    waiting.append(idx)
+                    continue
+                hit = self.store.get(keys[idx])
+                if hit is not None:
+                    # Raced a concurrent publisher: a publish always
+                    # precedes its claim release, so re-checking after
+                    # winning the claim keeps execution exactly-once.
+                    self.store.release(keys[idx])
+                    self.cache_hits += 1
+                    results[idx] = hit
+                    continue
+            pending.append(idx)
         self.cache_misses += len(pending)
         self._emit({"event": "cache", "total": len(points),
                     "hits": self.cache_hits, "misses": self.cache_misses})
 
-        # Instrumented points skip lockstep batch grouping: each point
-        # must run under its own recorder so payload["obs"] stays a pure
-        # per-point function (lockstep would entangle lanes).
-        if (pending and self.backend != "reference"
-                and self.metrics_every is None):
-            pending = self._run_batched(points, results, keys, pending)
-        if pending:
-            total = len(points)
-            if self.workers > 1 and len(pending) > 1:
-                payloads = self._run_pool(
-                    [points[i] for i in pending], pending, total)
-            else:
-                pid = os.getpid()
-                payloads = []
-                for i in pending:
-                    t0 = perf_counter()
+        claimed: Set[int] = set(pending) if caching else set()
+        try:
+            if pending:
+                self._execute(points, results, keys, pending, claimed)
+            for idx in waiting:
+                payload = self.store.wait_for(keys[idx])
+                if payload is None:
+                    # The claimer died/timed out without publishing:
+                    # compute locally (idempotent — wasteful at worst).
                     payload = run_sweep_point(
-                        points[i], backend=self.backend,
+                        points[idx], backend=self.backend,
                         metrics_every=self.metrics_every)
-                    elapsed = perf_counter() - t0
-                    self.timings.append(
-                        self._time_entry(i, points[i], pid, elapsed))
-                    self._emit({"event": "point", "index": i,
-                                "total": total, "pid": pid,
-                                "elapsed": elapsed})
-                    payloads.append(payload)
-            for idx, payload in zip(pending, payloads):
-                if caching:
-                    self._cache_put(keys[idx], payload)
+                    self.store.put(keys[idx], payload)
+                    self.cache_misses += 1
+                else:
+                    self.cache_hits += 1
                 results[idx] = payload
+        finally:
+            if caching:
+                for idx in claimed:
+                    self.store.release(keys[idx])
         self._last_results.extend(results)  # type: ignore[arg-type]
         self._emit({"event": "done", "total": len(points),
                     "hits": self.cache_hits, "misses": self.cache_misses})
         return results  # type: ignore[return-value]
 
-    def _run_batched(
+    def _schedule(self, points: Sequence[SweepPoint],
+                  pending: List[int]) -> List[tuple]:
+        """Build the task list for the pending indices.
+
+        With a fast-capable backend, policy points group by (model,
+        config, policy spec) into lockstep batch tasks (seed ladders
+        execute through the vectorized kernel); with ``workers > 1``
+        each group splits into up to ``workers`` slices so one big
+        ladder still saturates the pool.  OPT solves — and, under
+        ``metrics_every``, every point, since each must run under its
+        own recorder to keep ``payload["obs"]`` a pure per-point
+        function — become single-point tasks.  ``backend="auto"`` batch
+        groups fall back to serial reference runs inside the engine
+        when the fast kernel cannot take them; ``"fast"`` propagates
+        the error.
+        """
+        if self.backend == "reference" or self.metrics_every is not None:
+            return [("single", [(i, points[i])]) for i in pending]
+        groups: Dict[tuple, List[int]] = {}
+        singles: List[int] = []
+        for idx in pending:
+            point = points[idx]
+            if point.policy_factory is None:
+                singles.append(idx)
+                continue
+            c = point.config
+            gkey = (
+                point.model,
+                (c.n_in, c.n_out, c.speedup, c.b_in, c.b_out, c.b_cross),
+                describe_factory(point.policy_factory),
+            )
+            groups.setdefault(gkey, []).append(idx)
+        tasks: List[tuple] = []
+        for idxs in groups.values():
+            slices = min(self.workers, len(idxs)) if self.workers > 1 else 1
+            size = -(-len(idxs) // slices)
+            for s in range(0, len(idxs), size):
+                tasks.append(
+                    ("batch", [(i, points[i]) for i in idxs[s:s + size]]))
+        tasks.extend(("single", [(i, points[i])]) for i in singles)
+        return tasks
+
+    def _execute(
         self,
         points: Sequence[SweepPoint],
         results: List[Optional[Dict[str, object]]],
         keys: Optional[List[str]],
         pending: List[int],
-    ) -> List[int]:
-        """Run pending policy points through the batched engine entry
-        points, grouped by (model, config, policy spec) so seed ladders
-        execute in lockstep.  Returns the indices left for the normal
-        path (OPT points).  ``backend="auto"`` groups fall back to
-        serial reference runs inside the engine when the fast kernel
-        cannot take them; ``backend="fast"`` propagates the error.
-        """
-        groups: Dict[tuple, List[int]] = {}
-        leftover: List[int] = []
-        for idx in pending:
-            point = points[idx]
-            if point.policy_factory is None:
-                leftover.append(idx)
-                continue
-            c = point.config
-            key = (
-                point.model,
-                (c.n_in, c.n_out, c.speedup, c.b_in, c.b_out, c.b_cross),
-                describe_factory(point.policy_factory),
-            )
-            groups.setdefault(key, []).append(idx)
-        for (model, _config, _spec), idxs in groups.items():
-            first = points[idxs[0]]
-            runner = run_cioq_batch if model == "cioq" else run_crossbar_batch
-            batch = runner(
-                first.policy_factory,
-                first.config,
-                [points[i].trace for i in idxs],
-                backend=self.backend,
-            )
-            for idx, res in zip(idxs, batch):
-                payload = _policy_payload(res, points[idx])
-                if keys is not None:
-                    self._cache_put(keys[idx], payload)
-                results[idx] = payload
-        return leftover
+        claimed: Set[int],
+    ) -> None:
+        """Run the pending indices and publish each completion.
 
-    def _run_pool(self, points: List[SweepPoint], indices: List[int],
-                  total: int) -> List[Dict[str, object]]:
-        workers = min(self.workers, len(points))
-        chunk = self.chunk_size or -(-len(points) // (4 * workers))
-        ctx = get_context()
-        func = partial(_run_point_timed, backend=self.backend,
+        Completions stream back unordered (``imap_unordered`` — no
+        barrier on submission order); publishing is write-through: the
+        payload lands in the store, its claim drops, and the result slot
+        fills the moment the task finishes, which is what makes a
+        killed sweep resumable at point granularity.
+        """
+        total = len(points)
+        tasks = self._schedule(points, pending)
+        kill_env = os.environ.get(KILL_AFTER_ENV)
+        kill_after = int(kill_env) if kill_env else None
+        published = 0
+
+        def publish(idx: int, pid: int, elapsed: float,
+                    payload: Dict[str, object]) -> None:
+            nonlocal published
+            if keys is not None:
+                self.store.put(keys[idx], payload)
+                self.store.release(keys[idx])
+                claimed.discard(idx)
+                _exec_log(keys[idx])
+            results[idx] = payload
+            self.timings.append(
+                self._time_entry(idx, points[idx], pid, elapsed))
+            self._emit({"event": "point", "index": idx, "total": total,
+                        "pid": pid, "elapsed": elapsed})
+            published += 1
+            if kill_after is not None and published >= kill_after:
+                raise SweepKilled(
+                    f"fault injection: killed after {published} points")
+
+        func = partial(_run_task, backend=self.backend,
                        metrics_every=self.metrics_every)
-        payloads: List[Dict[str, object]] = []
-        with ctx.Pool(processes=workers) as pool:
-            # imap preserves point order while streaming completions
-            # back, so heartbeats fire as workers finish each chunk.
-            for k, (pid, elapsed, payload) in enumerate(
-                    pool.imap(func, points, chunksize=max(1, chunk))):
-                idx = indices[k]
-                self.timings.append(
-                    self._time_entry(idx, points[k], pid, elapsed))
-                self._emit({"event": "point", "index": idx, "total": total,
-                            "pid": pid, "elapsed": elapsed})
-                payloads.append(payload)
-        return payloads
+        if self.workers > 1 and len(tasks) > 1:
+            chunk = self.chunk_size or -(
+                -len(tasks) // (4 * min(self.workers, len(tasks))))
+            if self.pool is not None:
+                stream = self.pool.imap_unordered(
+                    func, tasks, chunksize=max(1, chunk))
+                self._drain(stream, publish)
+            else:
+                ctx = get_context()
+                workers = min(self.workers, len(tasks))
+                with ctx.Pool(processes=workers) as pool:
+                    self._drain(
+                        pool.imap_unordered(func, tasks,
+                                            chunksize=max(1, chunk)),
+                        publish)
+        else:
+            for task in tasks:
+                self._drain([func(task)], publish)
+
+    @staticmethod
+    def _drain(stream, publish) -> None:
+        """Feed completed tasks through the publish callback, splitting
+        each task's total wall time evenly over its points (timings are
+        quarantined observability, never artifact data)."""
+        for pid, elapsed, idxs, payloads in stream:
+            per_point = elapsed / max(1, len(idxs))
+            for idx, payload in zip(idxs, payloads):
+                publish(idx, pid, per_point, payload)

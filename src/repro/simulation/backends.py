@@ -24,7 +24,11 @@ strategies for the arrival/schedule/transmit slot loop:
     Try ``fast``; on :class:`BackendUnavailable` or
     :class:`BackendUnsupported` fall back to ``reference`` silently.
     This is the right default for sweeps that mix batchable policy
-    points with exotic ones.
+    points with exotic ones.  ``auto`` also applies the
+    :data:`AUTO_CROSSOVER` size heuristic: for policy classes whose
+    vectorized kernel only wins above a port-count crossover, small
+    switches run on the reference kernel directly (``fast`` never
+    applies the heuristic — an explicit request is honored as-is).
 
 Because the two backends are interchangeable by contract, backend
 choice is deliberately *excluded* from sweep cache keys: a cached
@@ -43,6 +47,30 @@ BACKENDS: Tuple[str, ...] = ("reference", "fast", "auto")
 
 #: The engine-wide default.
 DEFAULT_BACKEND = "reference"
+
+#: Port-count crossover per policy class for the ``auto`` backend.
+#: Below the crossover (``max(n_in, n_out) < value``) the vectorized
+#: kernel's fixed per-slot numpy overhead outweighs its batching win
+#: and ``auto`` selects ``reference`` instead: ``BENCH_engine.json``
+#: records PG on an 8x8 switch at 0.94x vs reference, while every
+#: measured policy wins from 32 ports up.  Entries are keyed by the
+#: policy class ``__name__``; absent classes always try ``fast``.
+AUTO_CROSSOVER = {"PGPolicy": 16}
+
+
+def auto_prefers_reference(policy, config) -> bool:
+    """True when the ``auto`` backend should skip the fast kernel for
+    ``policy`` on a switch of ``config``'s size.
+
+    Purely a scheduling hint — by the bit-identical backend contract it
+    never changes a result, only which kernel produces it — so it is
+    consulted by the engine dispatchers for ``backend="auto"`` and
+    nowhere else.
+    """
+    crossover = AUTO_CROSSOVER.get(type(policy).__name__)
+    if crossover is None:
+        return False
+    return max(config.n_in, config.n_out) < crossover
 
 
 class BackendError(RuntimeError):

@@ -41,6 +41,7 @@ from .backends import (
     DEFAULT_BACKEND,
     BackendUnavailable,
     BackendUnsupported,
+    auto_prefers_reference,
     load_fastpath,
     validate_backend,
 )
@@ -100,6 +101,8 @@ def _dispatch_single(
     validate_backend(backend)
     if backend == "reference":
         return None
+    if backend == "auto" and auto_prefers_reference(policy, config):
+        return None  # below the size crossover the reference kernel wins
     try:
         fastpath = load_fastpath()
         return fastpath.run_single(
@@ -371,7 +374,9 @@ def _run_batch(
 ) -> List[SimulationResult]:
     validate_backend(backend)
     traces = list(traces)
-    if backend != "reference" and traces:
+    if (backend != "reference" and traces
+            and not (backend == "auto"
+                     and auto_prefers_reference(policy_factory(), config))):
         try:
             fastpath = load_fastpath()
             for trace in traces:

@@ -28,7 +28,9 @@ persist and :func:`~repro.traffic.transforms.concat` and
 
 from __future__ import annotations
 
+import hashlib
 import json
+import struct
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..switch.packet import Packet, total_value, validate_packets
@@ -89,6 +91,7 @@ class Trace:
         for p in self.packets:
             self._by_slot[p.arrival].append(p)
         self._slot_tuples: Optional[Tuple[Tuple[Packet, ...], ...]] = None
+        self._digest: Optional[str] = None
 
     # -- access --------------------------------------------------------------
 
@@ -154,6 +157,29 @@ class Trace:
             "unit_valued": self.is_unit_valued,
             "value_range": (self.min_value(), self.max_value()),
         }
+
+    def content_digest(self) -> str:
+        """SHA-256 over the trace content, memoized after the first call.
+
+        Hashes a fixed little-endian binary packing of the dimensions
+        and the packet records instead of the JSON text — an order of
+        magnitude cheaper than ``sha256(to_json())``, which matters
+        because the sweep cache re-keys every trace on every
+        :meth:`~repro.parallel.SweepExecutor.run` call.  Traces are
+        immutable after construction, so the memo never invalidates.
+        The packing (not the JSON form) is the digest's definition;
+        changing it requires a ``CACHE_VERSION`` bump.
+        """
+        if self._digest is None:
+            h = hashlib.sha256(
+                struct.pack("<4q", self.n_in, self.n_out, self.n_slots,
+                            len(self.packets))
+            )
+            pack = struct.Struct("<qdqqq").pack
+            for p in self.packets:
+                h.update(pack(p.pid, p.value, p.arrival, p.src, p.dst))
+            self._digest = h.hexdigest()
+        return self._digest
 
     # -- (de)serialization ----------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""The auto backend's size/policy crossover heuristic.
+
+BENCH_engine.json records PG on an 8x8 switch running *slower* on the
+vectorized kernel than on the reference one (0.94x), while every
+measured policy wins from 32 ports up.  ``backend="auto"`` therefore
+dispatches below-crossover PG runs straight to the reference kernel.
+These tests pin the heuristic itself and — by poisoning the fast-path
+loader — prove the fast kernel is never even imported for such runs.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.simulation import engine
+from repro.simulation.backends import (
+    AUTO_CROSSOVER,
+    auto_prefers_reference,
+)
+from repro.simulation.engine import run_cioq, run_cioq_batch
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.values import uniform_values
+
+
+def _trace(n, slots=12, seed=0):
+    return BernoulliTraffic(
+        n, n, load=1.2, value_model=uniform_values(1, 10)
+    ).generate(slots, seed=seed)
+
+
+def _config(n):
+    return SwitchConfig.square(n, speedup=1, b_in=2, b_out=2, b_cross=1)
+
+
+class TestHeuristic:
+    def test_pg_below_crossover_prefers_reference(self):
+        assert auto_prefers_reference(PGPolicy(beta=2.0), _config(8))
+
+    def test_pg_at_crossover_uses_fast(self):
+        n = AUTO_CROSSOVER["PGPolicy"]
+        assert not auto_prefers_reference(PGPolicy(beta=2.0), _config(n))
+
+    def test_unlisted_policy_always_tries_fast(self):
+        assert not auto_prefers_reference(GMPolicy(), _config(2))
+
+    def test_rectangular_switch_uses_larger_side(self):
+        config = SwitchConfig(n_in=4, n_out=32, speedup=1,
+                              b_in=2, b_out=2, b_cross=1)
+        assert not auto_prefers_reference(PGPolicy(beta=2.0), config)
+
+
+class TestDispatch:
+    """Poison the fast-path loader: a below-crossover auto run must
+    succeed without ever importing the fast kernel."""
+
+    @pytest.fixture
+    def poisoned_fastpath(self, monkeypatch):
+        def boom():
+            raise AssertionError("fast path touched below the crossover")
+
+        monkeypatch.setattr(engine, "load_fastpath", boom)
+
+    def test_single_run_skips_fastpath(self, poisoned_fastpath):
+        config, trace = _config(8), _trace(8)
+        res = run_cioq(PGPolicy(beta=2.0), config, trace, backend="auto")
+        ref = run_cioq(PGPolicy(beta=2.0), config, trace,
+                       backend="reference")
+        assert res.benefit == ref.benefit
+        assert res.n_sent == ref.n_sent
+
+    def test_batch_run_skips_fastpath(self, poisoned_fastpath):
+        config = _config(8)
+        traces = [_trace(8, seed=s) for s in range(3)]
+        factory = partial(PGPolicy, beta=2.0)
+        batch = run_cioq_batch(factory, config, traces, backend="auto")
+        refs = [run_cioq(factory(), config, t, backend="reference")
+                for t in traces]
+        assert [r.benefit for r in batch] == [r.benefit for r in refs]
+
+    def test_explicit_fast_bypasses_heuristic(self, poisoned_fastpath):
+        # backend="fast" must honor the explicit request: it reaches
+        # the (poisoned) loader even below the crossover.
+        with pytest.raises(AssertionError, match="fast path touched"):
+            run_cioq(PGPolicy(beta=2.0), _config(8), _trace(8),
+                     backend="fast")
+
+    def test_above_crossover_reaches_fastpath(self, poisoned_fastpath):
+        with pytest.raises(AssertionError, match="fast path touched"):
+            run_cioq(PGPolicy(beta=2.0), _config(16), _trace(16),
+                     backend="auto")
+
+
+@pytest.mark.skipif(
+    not pytest.importorskip("repro.simulation.backends").numpy_available(),
+    reason="numpy required for the fast-kernel identity check",
+)
+def test_crossover_never_changes_results():
+    """The heuristic is scheduling only: auto (reference kernel) and
+    fast (vectorized kernel) agree bit-for-bit below the crossover."""
+    config, trace = _config(8), _trace(8)
+    auto = run_cioq(PGPolicy(beta=2.0), config, trace, backend="auto")
+    fast = run_cioq(PGPolicy(beta=2.0), config, trace, backend="fast")
+    assert auto.as_payload() == fast.as_payload()

@@ -1,0 +1,81 @@
+"""The persistent worker pool (repro.farm.pool) and its reuse across
+SweepExecutor.run() calls."""
+
+from functools import partial
+
+from repro.core.gm import GMPolicy
+from repro.core.pg import PGPolicy
+from repro.farm import PersistentPool
+from repro.parallel import SweepExecutor, SweepPoint
+from repro.switch.config import SwitchConfig
+from repro.traffic.bernoulli import BernoulliTraffic
+from repro.traffic.values import uniform_values
+
+
+def make_points(factory, n=6, slots=10):
+    config = SwitchConfig.square(3, speedup=1, b_in=2, b_out=2, b_cross=1)
+    return [
+        SweepPoint(
+            model="cioq", config=config,
+            trace=BernoulliTraffic(
+                3, 3, load=1.2, value_model=uniform_values(1, 20)
+            ).generate(slots, seed=seed),
+            policy_factory=factory, seed=seed, tag={"seed": seed})
+        for seed in range(n)
+    ]
+
+
+class TestPersistentPool:
+    def test_lazy_spawn_and_reuse(self):
+        with PersistentPool(2) as pool:
+            assert not pool.alive
+            first = list(pool.imap_unordered(abs, [-1, -2, -3]))
+            assert pool.alive
+            inner = pool._pool
+            second = list(pool.imap_unordered(abs, [-4, -5]))
+            assert pool._pool is inner  # same pool, no respawn
+            assert sorted(first) == [1, 2, 3] and sorted(second) == [4, 5]
+            assert pool.runs_served == 2
+
+    def test_close_is_idempotent_and_respawns(self):
+        pool = PersistentPool(2)
+        pool.warm()
+        pool.close()
+        pool.close()
+        assert not pool.alive
+        assert sorted(pool.imap_unordered(abs, [-7])) == [7]
+        pool.close()
+
+    def test_workers_floor(self):
+        assert PersistentPool(0).workers == 1
+
+
+class TestExecutorPoolReuse:
+    def test_ten_runs_one_pool_same_results(self):
+        """Ten consecutive run() calls through one persistent pool give
+        exactly the serial payloads — and never respawn workers."""
+        serial = SweepExecutor()
+        with PersistentPool(2) as pool:
+            ex = SweepExecutor(workers=2, pool=pool)
+            batches = [make_points(partial(PGPolicy, beta=2.0)),
+                       make_points(GMPolicy, n=4)]
+            inner = None
+            for i in range(10):
+                points = batches[i % 2]
+                assert ex.run(points) == serial.run(points)
+                if pool.alive:
+                    inner = inner or pool._pool
+                    assert pool._pool is inner
+        assert not pool.alive
+
+    def test_pool_composes_with_store(self, tmp_path):
+        points = make_points(partial(PGPolicy, beta=2.0))
+        with PersistentPool(2) as pool:
+            ex = SweepExecutor(workers=2, pool=pool,
+                               cache_dir=str(tmp_path / "store"))
+            cold = ex.run(points)
+            assert (ex.cache_hits, ex.cache_misses) == (0, len(points))
+            warm = ex.run(points)
+            assert (ex.cache_hits, ex.cache_misses) == (
+                len(points), len(points))
+            assert cold == warm == SweepExecutor().run(points)

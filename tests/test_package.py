@@ -144,6 +144,7 @@ class TestDocsConsistency:
         scenario_verbs = subcommands(verbs["scenarios"])
         stats_verbs = subcommands(verbs["stats"])
         obs_verbs = subcommands(verbs["obs"])
+        farm_verbs = subcommands(verbs["farm"])
 
         docs = "".join(
             p.read_text()
@@ -151,7 +152,8 @@ class TestDocsConsistency:
                       ROOT / "docs" / "scenarios.md",
                       ROOT / "docs" / "traffic_models.md",
                       ROOT / "docs" / "statistics.md",
-                      ROOT / "docs" / "observability.md")
+                      ROOT / "docs" / "observability.md",
+                      ROOT / "docs" / "parallel.md")
         )
         for verb in set(re.findall(r"python -m repro\.cli (\w+)", docs)):
             assert verb in verbs, f"docs reference unknown CLI verb {verb!r}"
@@ -166,6 +168,10 @@ class TestDocsConsistency:
         for sub in set(re.findall(r"repro(?:\.cli)? obs (\w+)", docs)):
             assert sub in obs_verbs, (
                 f"docs reference unknown `obs` subcommand {sub!r}"
+            )
+        for sub in set(re.findall(r"repro(?:\.cli)? farm (\w+)", docs)):
+            assert sub in farm_verbs, (
+                f"docs reference unknown `farm` subcommand {sub!r}"
             )
 
     def test_statistics_docs_match_code(self):
@@ -424,6 +430,46 @@ class TestDocsConsistency:
                 assert (policy, backend) in cells, (
                     f"missing obs bench cell {policy}/{backend}"
                 )
+
+    def test_bench_farm_snapshot_committed_and_sane(self):
+        """BENCH_farm.json (written by benchmarks/bench_farm.py) must be
+        committed, canonical in form, show a >= 4x resume speedup at 75%
+        store hits, a <= 5% persistent-pool spawn overhead across ten
+        run() calls, and attest cold/warm/resumed payload identity."""
+        import json
+
+        path = ROOT / "BENCH_farm.json"
+        assert path.exists(), (
+            "BENCH_farm.json is missing; regenerate with "
+            "`python benchmarks/bench_farm.py`"
+        )
+        raw = path.read_text()
+        snapshot = json.loads(raw)
+        canonical = json.dumps(snapshot, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n"
+        assert raw == canonical, (
+            "BENCH_farm.json is not in canonical form "
+            "(indent=2, sort_keys, trailing newline)"
+        )
+        assert snapshot["schema"] == 1
+        budgets = snapshot["budgets"]
+        assert budgets == {"resume_speedup_min": 4.0,
+                           "pool_overhead_pct_max": 5.0}
+        sweep = snapshot["sweep"]
+        assert sweep["cached_fraction"] == 0.75
+        assert sweep["payloads_identical"] is True
+        assert sweep["resume_speedup_vs_cold"] >= budgets[
+            "resume_speedup_min"], (
+            f"committed resume speedup {sweep['resume_speedup_vs_cold']}x "
+            f"is below the {budgets['resume_speedup_min']}x budget"
+        )
+        pool = snapshot["pool"]
+        assert pool["runs"] == 10 and pool["workers"] >= 2
+        assert pool["spawn_overhead_pct"] <= budgets[
+            "pool_overhead_pct_max"], (
+            f"committed pool spawn overhead {pool['spawn_overhead_pct']}% "
+            f"exceeds the {budgets['pool_overhead_pct_max']}% budget"
+        )
 
     def test_paper_mapping_module_references_resolve(self):
         """Every `repro.x.y` dotted path in docs/paper_mapping.md must
